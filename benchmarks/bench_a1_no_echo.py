@@ -1,0 +1,12 @@
+"""Benchmark A1: Ablation: echo-rejection rule.
+
+Regenerates the A1 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_a1_no_echo(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "A1")
+    assert t.rows[0][5] and not t.rows[1][5]

@@ -1,0 +1,12 @@
+"""Benchmark A2: Ablation: f-b vs f discard rule.
+
+Regenerates the A2 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_a2_discard(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "A2")
+    assert t.rows[0][2] == 'ok' and t.rows[1][2] != 'ok'

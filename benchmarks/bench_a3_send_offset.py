@@ -1,0 +1,12 @@
+"""Benchmark A3: Ablation: dealer send offset theta*S.
+
+Regenerates the A3 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_a3_send_offset(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "A3")
+    assert t.rows[0][3] == 0 and t.rows[1][3] > 0

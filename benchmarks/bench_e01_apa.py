@@ -1,0 +1,12 @@
+"""Benchmark E1: APA convergence (Theorem 9 / Corollary 2).
+
+Regenerates the E1 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e01_apa(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E1")
+    assert all(t.column('halved every iter'))

@@ -1,0 +1,12 @@
+"""Benchmark E2: Crusader broadcast properties (Figure 4).
+
+Regenerates the E2 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e02_crusader(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E2")
+    assert all(t.column('validity ok')) and all(t.column('consistency ok'))

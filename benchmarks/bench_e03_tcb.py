@@ -1,0 +1,12 @@
+"""Benchmark E3: TCB estimate accuracy (Lemmas 10-13).
+
+Regenerates the E3 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e03_tcb(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E3")
+    assert all(t.column('within (L12)')) and all(t.column('within (L13)'))

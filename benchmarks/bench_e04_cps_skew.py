@@ -1,0 +1,12 @@
+"""Benchmark E4: CPS skew vs Theorem 17 bound.
+
+Regenerates the E4 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e04_cps_skew(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E4")
+    assert all(t.column('within')) and all(t.column('live'))

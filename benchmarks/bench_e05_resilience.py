@@ -1,0 +1,12 @@
+"""Benchmark E5: Resilience range: CPS vs Lynch-Welch.
+
+Regenerates the E5 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e05_resilience(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E5")
+    assert any(not w for w in t.column('steady within'))

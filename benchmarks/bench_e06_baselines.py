@@ -1,0 +1,12 @@
+"""Benchmark E6: Introduction comparison: all four algorithms.
+
+Regenerates the E6 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e06_baselines(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E6")
+    assert len(t.rows) >= 8

@@ -1,0 +1,12 @@
+"""Benchmark E7: Theorem 5 lower-bound construction.
+
+Regenerates the E7 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e07_lower_bound(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E7")
+    assert all(t.column('>= bound')) and all(t.column('well-defined'))

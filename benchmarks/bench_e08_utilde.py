@@ -1,0 +1,12 @@
+"""Benchmark E8: Skew degradation when faulty links undercut d-u.
+
+Regenerates the E8 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e08_utilde(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E8")
+    assert t.rows[0][4] and not t.rows[-1][4]

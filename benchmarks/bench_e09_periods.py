@@ -1,0 +1,12 @@
+"""Benchmark E9: Period bounds (Theorem 17).
+
+Regenerates the E9 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e09_periods(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E9")
+    assert all(t.column('within'))

@@ -1,0 +1,12 @@
+"""Benchmark E10: Convergence trajectory (Lemma 16).
+
+Regenerates the E10 table (see EXPERIMENTS.md) and asserts its headline
+claim still holds on the freshly measured data.
+"""
+
+from conftest import bench_experiment
+
+
+def test_e10_convergence(benchmark, capsys):
+    t = bench_experiment(benchmark, capsys, "E10")
+    assert min(t.column('skew')) < t.column('skew')[0]

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one experiment table (the paper has no
+empirical section, so the "tables/figures" are its quantitative claims —
+see DESIGN.md section 5 and EXPERIMENTS.md).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SCALE=full`` for the wide sweeps.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def bench_experiment(benchmark, capsys, name: str):
+    """Benchmark one experiment and print/persist its table."""
+    table = benchmark.pedantic(
+        run_experiment,
+        args=(name,),
+        kwargs={"scale": SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    assert table.rows, f"experiment {name} produced no rows"
+    with capsys.disabled():
+        print()
+        print(table.render())
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    table.to_csv(os.path.join(RESULTS_DIR, f"{name.lower()}.csv"))
+    return table

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Approximate agreement with signatures (Section 2.1 of the paper).
+
+Nine sensor nodes hold divergent temperature readings; four of them are
+Byzantine (the optimal ceil(n/2) - 1 with signatures — far beyond the
+ceil(n/3) - 1 barrier of the unauthenticated setting).  The honest nodes
+run iterated Algorithm APA over crusader broadcast and converge to within
+any target epsilon in 2*ceil(log2(range/epsilon)) rounds (Corollary 2),
+no matter how the Byzantine nodes equivocate.
+"""
+
+from repro.analysis.reporting import Table
+from repro.core.params import max_faults
+from repro.sync.approx_agreement import (
+    ApaEquivocatingAdversary,
+    ApaExtremeAdversary,
+    ApaSplitAdversary,
+    iterations_for_target,
+    run_apa,
+)
+
+N = 9
+TARGET = 0.05  # degrees
+
+
+def main() -> None:
+    f = max_faults(N)
+    faulty = list(range(N - f, N))
+    honest = [v for v in range(N) if v not in faulty]
+    readings = {v: 18.0 + 1.5 * i for i, v in enumerate(honest)}
+    initial_range = max(readings.values()) - min(readings.values())
+    iterations = iterations_for_target(initial_range, TARGET)
+
+    print(
+        f"{N} sensors, {f} Byzantine; honest readings span "
+        f"{initial_range:.2f} degrees."
+    )
+    print(
+        f"Corollary 2: {iterations} iterations "
+        f"({2 * iterations} synchronous rounds) reach epsilon = {TARGET}.\n"
+    )
+
+    table = Table(
+        "Honest value range per iteration (three Byzantine strategies)",
+        ["iteration", "guaranteed (l/2^k)"]
+        + ["extreme", "split-⊥", "equivocating"],
+    )
+    adversaries = [
+        ApaExtremeAdversary(-40.0, 90.0),
+        ApaSplitAdversary(-40.0, 90.0),
+        ApaEquivocatingAdversary(-40.0, 90.0),
+    ]
+    results = [
+        run_apa(readings, N, f, faulty, adversary, iterations=iterations)
+        for adversary in adversaries
+    ]
+    for i in range(iterations + 1):
+        table.add_row(
+            i,
+            initial_range / (2.0 ** i),
+            *(result.range_at(i) for result in results),
+        )
+    print(table.render())
+
+    for name, result in zip(
+        ("extreme", "split-⊥", "equivocating"), results
+    ):
+        values = sorted(result.outputs.values())
+        spread = values[-1] - values[0]
+        assert spread <= TARGET + 1e-9
+        assert min(readings.values()) <= values[0]
+        assert values[-1] <= max(readings.values())
+        print(
+            f"\n{name:>12}: outputs in [{values[0]:.4f}, {values[-1]:.4f}] "
+            f"(spread {spread:.4f} <= {TARGET}, inside the honest input "
+            "range)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Attack gallery: what the adversary can (and cannot) do to CPS.
+
+Runs the full attack library against CPS at optimal resilience and shows
+each one bouncing off a different defence mechanism, then demonstrates the
+one attack that *does* work — rushing echoes over faulty links that
+undercut the honest minimum delay — which is exactly the gap Theorem 5
+proves fundamental.
+"""
+
+from repro import build_cps_simulation, derive_parameters
+from repro.analysis.metrics import PulseReport
+from repro.analysis.reporting import Table
+from repro.core.attacks import (
+    CpsEquivocatingSubsetAttack,
+    CpsMimicDealerAttack,
+    CpsRushingEchoAttack,
+    FastToFaultyDelayPolicy,
+)
+from repro.sim.adversary import ReplayAdversary, SilentAdversary
+from repro.sim.network import SkewingDelayPolicy
+from repro.sync.crusader import BOT
+
+PULSES = 15
+
+
+def run(params, behavior, delay_policy=None, u_tilde=None):
+    faulty = list(range(params.n - params.f, params.n))
+    simulation = build_cps_simulation(
+        params,
+        faulty=faulty,
+        behavior=behavior,
+        delay_policy=delay_policy,
+        u_tilde=u_tilde,
+        seed=7,
+        clock_style="extreme",
+    )
+    result = simulation.run(max_pulses=PULSES)
+    report = PulseReport.from_pulses(result.honest_pulses(), warmup=4)
+    honest = set(result.honest)
+    honest_rejections = sum(
+        1
+        for record in result.trace.protocol_events("cps-round")
+        for w, estimate in record.details.estimates.items()
+        if estimate is BOT and w in honest
+    )
+    return report, honest_rejections
+
+
+def main() -> None:
+    params = derive_parameters(theta=1.0005, d=1.0, u=0.01, n=8)
+    group_a = [0, 2, 4, 6]
+    table = Table(
+        f"CPS under attack (n={params.n}, f={params.f}, bound "
+        f"S={params.S:.5f})",
+        [
+            "attack",
+            "defence that stops it",
+            "steady skew",
+            "within S",
+            "honest ⊥",
+        ],
+    )
+
+    scenarios = [
+        (
+            "silent (crash all f)",
+            SilentAdversary(),
+            None,
+            "⊥-aware discard rule (f - b)",
+        ),
+        (
+            "timing split (mimic dealers)",
+            CpsMimicDealerAttack(params, group_a),
+            SkewingDelayPolicy(group_a),
+            "echo rule caps spread at ~u (Lemma 11)",
+        ),
+        (
+            "equivocating subset",
+            CpsEquivocatingSubsetAttack(params),
+            None,
+            "crusader consistency: excluded half gets ⊥",
+        ),
+        (
+            "signature replay flood",
+            ReplayAdversary(seed=1, copies=2),
+            None,
+            "per-round signed tags; stale sigs are noise",
+        ),
+    ]
+    for name, behavior, policy, defence in scenarios:
+        report, rejections = run(params, behavior, policy)
+        table.add_row(
+            name,
+            defence,
+            report.steady_skew,
+            report.steady_skew <= params.S + 1e-9,
+            rejections,
+        )
+    print(table.render())
+
+    print(
+        "\nThe one that works — rushing echoes when faulty links may be "
+        "faster than honest ones (u~ = 8u):"
+    )
+    report, rejections = run(
+        params,
+        CpsRushingEchoAttack(),
+        FastToFaultyDelayPolicy(),
+        u_tilde=8 * params.u,
+    )
+    print(
+        f"  steady skew {report.steady_skew:.5f} vs bound {params.S:.5f} "
+        f"({'BROKEN' if report.steady_skew > params.S else 'held'}), "
+        f"{rejections} honest broadcasts rejected"
+    )
+    print(
+        "  -> Theorem 5: no algorithm can avoid Omega(u~) skew; network "
+        "designers must enforce the minimum delay d - u on faulty links "
+        "too."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of "Optimal Clock Synchronization with Signatures"
+(Lenzen & Loss, PODC 2022).
+
+Quickstart::
+
+    from repro import derive_parameters, build_cps_simulation, PulseReport
+
+    params = derive_parameters(theta=1.001, d=1.0, u=0.01, n=8)
+    simulation = build_cps_simulation(params, faulty=[5, 6, 7])
+    result = simulation.run(max_pulses=20)
+    print(PulseReport.from_pulses(result.honest_pulses()))
+
+Package map:
+
+* :mod:`repro.core` — Algorithm CPS, TCB, parameters, the Theorem 5 lower
+  bound, and pulse-based logical clocks / synchronizers;
+* :mod:`repro.sync` — the synchronous substrate: crusader broadcast,
+  approximate agreement, Dolev-Strong;
+* :mod:`repro.sim` — discrete-event timed simulation (clocks, delays,
+  Byzantine behaviours, signature-knowledge enforcement);
+* :mod:`repro.crypto` — symbolic unforgeable signatures and PKI;
+* :mod:`repro.baselines` — Lynch-Welch, signed-relay, chain-relay;
+* :mod:`repro.analysis` — metrics, theory bounds, experiments E1-E10.
+"""
+
+from repro.analysis.metrics import PulseReport
+from repro.core.cps import CpsNode, build_cps_simulation
+from repro.core.lower_bound import run_lower_bound
+from repro.core.params import (
+    THETA_MAX,
+    ProtocolParameters,
+    derive_parameters,
+    max_faults,
+)
+from repro.sim.scheduler import Simulation, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CpsNode",
+    "ProtocolParameters",
+    "PulseReport",
+    "Simulation",
+    "SimulationResult",
+    "THETA_MAX",
+    "__version__",
+    "build_cps_simulation",
+    "derive_parameters",
+    "max_faults",
+    "run_lower_bound",
+]

@@ -1,0 +1,113 @@
+"""Pulse-synchronization metrics (Definition 3, measured).
+
+All functions take a ``pulses`` map ``node -> [p_1, p_2, ...]`` (honest
+nodes only — pass :meth:`SimulationResult.honest_pulses`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.sim.errors import ConfigurationError
+
+Pulses = Dict[int, List[float]]
+
+
+def common_pulse_count(pulses: Pulses) -> int:
+    """Number of pulses every node has generated."""
+    if not pulses:
+        raise ConfigurationError("no pulse data")
+    return min(len(times) for times in pulses.values())
+
+
+def pulse_skew(pulses: Pulses, index: int) -> float:
+    """``max_v p_{v,i} - min_v p_{v,i}`` (0-based ``index``)."""
+    values = [times[index] for times in pulses.values()]
+    return max(values) - min(values)
+
+
+def skew_trajectory(pulses: Pulses, skip: int = 0) -> List[float]:
+    """Per-pulse skew, optionally skipping warm-up pulses."""
+    count = common_pulse_count(pulses)
+    return [pulse_skew(pulses, i) for i in range(skip, count)]
+
+
+def max_skew(pulses: Pulses, skip: int = 0) -> float:
+    """Worst per-pulse skew (Definition 3's S, measured)."""
+    trajectory = skew_trajectory(pulses, skip)
+    if not trajectory:
+        raise ConfigurationError(f"no pulses left after skipping {skip}")
+    return max(trajectory)
+
+
+def min_period(pulses: Pulses) -> float:
+    """``inf_i (min_v p_{v,i+1} - max_v p_{v,i})`` — Definition 3."""
+    count = common_pulse_count(pulses)
+    if count < 2:
+        raise ConfigurationError("need two pulses for a period")
+    return min(
+        min(times[i + 1] for times in pulses.values())
+        - max(times[i] for times in pulses.values())
+        for i in range(count - 1)
+    )
+
+
+def max_period(pulses: Pulses) -> float:
+    """``sup_i (max_v p_{v,i+1} - min_v p_{v,i})`` — Definition 3."""
+    count = common_pulse_count(pulses)
+    if count < 2:
+        raise ConfigurationError("need two pulses for a period")
+    return max(
+        max(times[i + 1] for times in pulses.values())
+        - min(times[i] for times in pulses.values())
+        for i in range(count - 1)
+    )
+
+
+def check_liveness(pulses: Pulses, expected: int) -> bool:
+    """Did every node output at least ``expected`` pulses, in order?"""
+    for times in pulses.values():
+        if len(times) < expected:
+            return False
+        if any(b <= a for a, b in zip(times, times[1:])):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PulseReport:
+    """Summary statistics of one run."""
+
+    nodes: int
+    pulses: int
+    max_skew: float
+    steady_skew: float
+    min_period: float
+    max_period: float
+
+    @staticmethod
+    def from_pulses(pulses: Pulses, warmup: int = 2) -> "PulseReport":
+        count = common_pulse_count(pulses)
+        warmup = min(warmup, max(count - 1, 0))
+        return PulseReport(
+            nodes=len(pulses),
+            pulses=count,
+            max_skew=max_skew(pulses),
+            steady_skew=max_skew(pulses, skip=warmup),
+            min_period=min_period(pulses),
+            max_period=max_period(pulses),
+        )
+
+
+def convergence_rounds(
+    trajectory: Sequence[float], floor: float, factor: float = 1.05
+) -> int:
+    """First pulse index whose skew is within ``factor * floor``.
+
+    Returns ``len(trajectory)`` if the trajectory never gets there.
+    """
+    for index, value in enumerate(trajectory):
+        if value <= floor * factor:
+            return index
+    return len(trajectory)

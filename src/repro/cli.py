@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+
+``list``
+    Show the experiment registry with one-line descriptions.
+``run E4 [--scale full] [--csv out.csv]``
+    Run one experiment and print its table.
+``all [--scale quick] [--out results/]``
+    Run every experiment, printing tables (and writing CSVs if asked).
+``params --theta 1.001 --d 1.0 --u 0.01 --n 8``
+    Derive and display CPS parameters and every bound of Theorem 17.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis import theory
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.core.params import derive_parameters, max_faults
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    for name in sorted(EXPERIMENTS, key=lambda k: (k[0], len(k), k)):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<4} {doc}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    table = run_experiment(args.experiment, scale=args.scale)
+    print(table.render())
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _command_all(args: argparse.Namespace) -> int:
+    for name in sorted(EXPERIMENTS, key=lambda k: (k[0], len(k), k)):
+        table = run_experiment(name, scale=args.scale)
+        print(table.render())
+        print()
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            table.to_csv(os.path.join(args.out, f"{name.lower()}.csv"))
+    return 0
+
+
+def _command_params(args: argparse.Namespace) -> int:
+    params = derive_parameters(
+        theta=args.theta,
+        d=args.d,
+        u=args.u,
+        n=args.n,
+        f=args.f,
+        T=args.T,
+    )
+    print(
+        f"n={params.n}  f={params.f} (max {max_faults(params.n)})  "
+        f"theta={params.theta}  d={params.d}  u={params.u}"
+    )
+    for name, value in theory.summary(params).items():
+        print(f"  {name:<26} {value:.9g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Optimal Clock Synchronization with "
+            "Signatures' (Lenzen & Loss, PODC 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        handler=_command_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E4")
+    run_parser.add_argument(
+        "--scale", choices=("quick", "full"), default="quick"
+    )
+    run_parser.add_argument("--csv", help="also write the table as CSV")
+    run_parser.set_defaults(handler=_command_run)
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument(
+        "--scale", choices=("quick", "full"), default="quick"
+    )
+    all_parser.add_argument("--out", help="directory for CSV outputs")
+    all_parser.set_defaults(handler=_command_all)
+
+    params_parser = sub.add_parser(
+        "params", help="derive CPS parameters for a deployment"
+    )
+    params_parser.add_argument("--theta", type=float, required=True)
+    params_parser.add_argument("--d", type=float, required=True)
+    params_parser.add_argument("--u", type=float, required=True)
+    params_parser.add_argument("--n", type=int, required=True)
+    params_parser.add_argument("--f", type=int, default=None)
+    params_parser.add_argument("--T", type=float, default=None)
+    params_parser.set_defaults(handler=_command_params)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Byzantine attack strategies specialized against TCB/CPS.
+
+These behaviours understand the CPS message format and timing, and realize
+the attack surfaces the paper's analysis is tight against:
+
+* :class:`CpsMimicDealerAttack` — faulty dealers stay *undetected* (one
+  signature, plausible timing) while skewing their apparent pulse time
+  differently for different receivers, exploiting the full slack Lemma 11
+  leaves them;
+* :class:`CpsEquivocatingSubsetAttack` — faulty dealers address only a
+  subset, producing asymmetric ⊥ patterns (the `b`-dependent discard rule
+  must handle these correctly — ablation A2 shows what breaks otherwise);
+* :class:`CpsRushingEchoAttack` — *only* meaningful when faulty links may
+  undercut the honest minimum delay (``u_tilde > u``): faulty nodes
+  re-echo honest signatures so fast that honest broadcasts get rejected,
+  the attack behind the paper's Section 1 warning and Theorem 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.core.messages import TcbMessage, tcb_tag
+from repro.core.params import ProtocolParameters
+from repro.sim.adversary import ByzantineBehavior, SilentAdversary
+from repro.sim.network import DelayPolicy
+from repro.sim.trace import DeliveryRecord
+
+
+class CpsMimicDealerAttack(ByzantineBehavior):
+    """Faulty dealers broadcast on time, but split their apparent offset.
+
+    On the first honest pulse of each round ``r``, every faulty node
+    schedules its ``<r>`` broadcast at the time an honest dealer would use
+    and delivers it *fast* (minimum faulty-link delay) to ``group_a`` and
+    *slow* (maximum delay, shifted ``spread_fraction`` of the tolerated
+    slack later) to everyone else.  The spread stays just inside the
+    Lemma 11 consistency window, so no honest node rejects — the dealer
+    contributes maximally inconsistent estimates while remaining accepted.
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        group_a: Iterable[int],
+        spread_fraction: float = 0.9,
+        stagger: float = 0.0,
+    ) -> None:
+        self.params = params
+        self.group_a: Set[int] = set(group_a)
+        self.spread_fraction = spread_fraction
+        # Extra real-time gap before the slow group's copy is sent.  With
+        # the echo-rejection rule active any stagger beyond ~u gets the
+        # dealer rejected; ablation A1 removes the rule and cranks this up.
+        self.stagger = stagger
+        self._scheduled_rounds: Set[int] = set()
+
+    def on_pulse(self, ctx, node: int, index: int, time: float) -> None:
+        if index in self._scheduled_rounds:
+            return
+        self._scheduled_rounds.add(index)
+        # An honest dealer sends theta*S local time after its pulse, i.e.
+        # between S and theta*S real time later; mimic the earliest.
+        ctx.wake_at(time + self.params.S, ("mimic-send", index))
+
+    def on_wakeup(self, ctx, tag) -> None:
+        if not isinstance(tag, tuple):
+            return
+        if tag[0] == "mimic-send":
+            pulse_round = tag[1]
+            low, high = ctx.config.delay_bounds(False)
+            # Keep the arrival spread a safe fraction of the uncertainty so
+            # the echo-rejection guard (strict inequalities) never quite
+            # triggers.
+            slow_delay = low + self.spread_fraction * (high - low)
+            for src in sorted(ctx.faulty):
+                message = TcbMessage(
+                    pulse_round, src, ctx.sign_as(src, tcb_tag(pulse_round))
+                )
+                for dst in ctx.honest:
+                    if dst in self.group_a:
+                        ctx.send_from(src, dst, message, low)
+                    elif self.stagger <= 0.0:
+                        ctx.send_from(src, dst, message, slow_delay)
+            if self.stagger > 0.0:
+                ctx.wake_at(
+                    ctx.now + self.stagger, ("mimic-send-late", pulse_round)
+                )
+        elif tag[0] == "mimic-send-late":
+            pulse_round = tag[1]
+            low, high = ctx.config.delay_bounds(False)
+            slow_delay = low + self.spread_fraction * (high - low)
+            for src in sorted(ctx.faulty):
+                message = TcbMessage(
+                    pulse_round, src, ctx.sign_as(src, tcb_tag(pulse_round))
+                )
+                for dst in ctx.honest:
+                    if dst not in self.group_a:
+                        ctx.send_from(src, dst, message, slow_delay)
+
+    def describe(self) -> str:
+        return f"mimic-split(spread={self.spread_fraction})"
+
+
+class CpsEquivocatingSubsetAttack(ByzantineBehavior):
+    """Faulty dealers address only half the honest nodes.
+
+    Recipients accept and echo; the excluded half sees echoes without a
+    direct dealer message and outputs ⊥ (Figure 2's timeout/echo rules).
+    This maximizes the *asymmetry* of ⊥ outputs across honest nodes, the
+    scenario Lemmas 7/8 exist for.
+    """
+
+    def __init__(self, params: ProtocolParameters) -> None:
+        self.params = params
+        self._scheduled_rounds: Set[int] = set()
+
+    def on_pulse(self, ctx, node: int, index: int, time: float) -> None:
+        if index in self._scheduled_rounds:
+            return
+        self._scheduled_rounds.add(index)
+        ctx.wake_at(time + self.params.S, ("subset-send", index))
+
+    def on_wakeup(self, ctx, tag) -> None:
+        if not (isinstance(tag, tuple) and tag[0] == "subset-send"):
+            return
+        pulse_round = tag[1]
+        honest = sorted(ctx.honest)
+        subset = honest[: max(len(honest) // 2, 1)]
+        for src in sorted(ctx.faulty):
+            message = TcbMessage(
+                pulse_round, src, ctx.sign_as(src, tcb_tag(pulse_round))
+            )
+            for dst in subset:
+                ctx.send_from(src, dst, message, ctx.config.d)
+
+    def describe(self) -> str:
+        return "equivocating-subset"
+
+
+class CpsRushingEchoAttack(ByzantineBehavior):
+    """Rush-echo honest signatures over fast faulty links.
+
+    Whenever a faulty node receives an honest dealer's ``<r>`` message, it
+    instantly re-echoes it to the configured victims at the minimum
+    faulty-link delay ``d - u_tilde``.  If ``u_tilde > u`` (faulty links
+    faster than honest ones), the echo can reach a victim more than
+    ``d - 2u`` before the victim's own acceptance would finalize, forcing
+    the victim to reject the *honest* dealer.
+
+    With ``u_tilde = u`` the attack is harmless (Lemma 10 holds); the gap
+    is exactly the paper's "network designers must ensure message delay is
+    at least d - u even on links with one faulty endpoint".
+    """
+
+    def __init__(
+        self,
+        victims: Optional[Iterable[int]] = None,
+        target_dealers: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.victims = None if victims is None else set(victims)
+        self.target_dealers = (
+            None if target_dealers is None else set(target_dealers)
+        )
+        self._echoed: Set[Tuple[int, int]] = set()
+
+    def on_deliver(self, ctx, record: DeliveryRecord) -> None:
+        payload = record.payload
+        if not isinstance(payload, TcbMessage):
+            return
+        if payload.dealer in ctx.faulty:
+            return
+        if (
+            self.target_dealers is not None
+            and payload.dealer not in self.target_dealers
+        ):
+            return
+        key = (payload.pulse_round, payload.dealer)
+        if key in self._echoed:
+            return
+        self._echoed.add(key)
+        low, _high = ctx.config.delay_bounds(False)
+        victims = ctx.honest if self.victims is None else sorted(self.victims)
+        src = record.dst  # the faulty node that just learned the signature
+        for dst in victims:
+            if dst != payload.dealer:
+                ctx.send_from(src, dst, payload, low)
+
+    def describe(self) -> str:
+        return "rushing-echo"
+
+
+class FastToFaultyDelayPolicy(DelayPolicy):
+    """Delay policy partnering the rushing-echo attack.
+
+    Honest-to-honest messages take the maximum delay ``d`` (so direct
+    dealer messages arrive as late as possible) while anything touching a
+    faulty node takes the minimum faulty-link delay (so the adversary
+    learns signatures as early as the model permits).
+    """
+
+    def delay(self, config, src, dst, send_time, payload, link_is_honest):
+        low, high = config.delay_bounds(link_is_honest)
+        return high if link_is_honest else low
+
+    def describe(self) -> str:
+        return "fast-to-faulty"
+
+
+def cps_attack_catalog(
+    params: ProtocolParameters,
+) -> Dict[str, ByzantineBehavior]:
+    """The standard attack suite used by the E4/E5 sweeps."""
+    half = [v for v in range(params.n) if v % 2 == 0]
+    return {
+        "silent": SilentAdversary(),
+        "mimic-split": CpsMimicDealerAttack(params, half),
+        "equivocating-subset": CpsEquivocatingSubsetAttack(params),
+    }

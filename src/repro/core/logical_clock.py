@@ -1,0 +1,97 @@
+"""Logical clocks from pulses ([14, Ch. 9, Sec. 3.3.3/3.3.4]).
+
+Pulse synchronization and bounded-skew/bounded-rate logical clocks are
+equivalent up to minor order terms.  This module performs the standard
+conversion: node ``v``'s logical clock assigns value ``i * nominal_period``
+to its ``i``-th pulse and interpolates linearly in between (extrapolating
+at the nominal rate after the last pulse).
+
+Given CPS's guarantees (skew ``S``, period in ``[P_min, P_max]``), the
+resulting logical clocks have
+
+* skew at most ``S + (P_max - P_min)`` at all times, and
+* rates within ``[nominal_period / P_max, nominal_period / P_min]``.
+
+:func:`logical_skew` measures the realized skew of a set of logical clocks
+on a time grid, which experiment E4 compares against the bound.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.sim.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LogicalClock:
+    """Piecewise-linear logical clock through ``(p_i, i * period)``."""
+
+    pulse_times: Sequence[float]
+    nominal_period: float
+
+    def __post_init__(self) -> None:
+        if len(self.pulse_times) < 2:
+            raise ConfigurationError(
+                "need at least two pulses to interpolate a logical clock"
+            )
+        if self.nominal_period <= 0:
+            raise ConfigurationError("nominal_period must be positive")
+        times = list(self.pulse_times)
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigurationError("pulse times must be increasing")
+
+    def value(self, t: float) -> float:
+        """Logical time at real time ``t``.
+
+        Before the first pulse, extrapolates backwards at the first
+        segment's rate; after the last pulse, at the last segment's rate.
+        """
+        times = self.pulse_times
+        if t >= times[-1]:
+            last_value = (len(times) - 1) * self.nominal_period
+            last_rate = self.nominal_period / (times[-1] - times[-2])
+            return last_value + last_rate * (t - times[-1])
+        index = bisect.bisect_right(times, t) - 1
+        index = max(min(index, len(times) - 2), 0)
+        span = times[index + 1] - times[index]
+        fraction = (t - times[index]) / span
+        return (index + fraction) * self.nominal_period
+
+    def rate_bounds(self) -> tuple:
+        """Min/max slope over the interpolated segments."""
+        rates = [
+            self.nominal_period / (b - a)
+            for a, b in zip(self.pulse_times, self.pulse_times[1:])
+        ]
+        return (min(rates), max(rates))
+
+
+def build_logical_clocks(
+    pulses: Dict[int, List[float]], nominal_period: float
+) -> Dict[int, LogicalClock]:
+    """One logical clock per node from a pulse-time map."""
+    return {
+        node: LogicalClock(tuple(times), nominal_period)
+        for node, times in pulses.items()
+        if len(times) >= 2
+    }
+
+
+def logical_skew(
+    clocks: Dict[int, LogicalClock],
+    start: float,
+    end: float,
+    samples: int = 200,
+) -> float:
+    """Maximum pairwise logical-clock difference over ``[start, end]``."""
+    if not clocks or samples < 1:
+        raise ConfigurationError("need clocks and at least one sample")
+    worst = 0.0
+    for i in range(samples):
+        t = start + (end - start) * i / max(samples - 1, 1)
+        values = [clock.value(t) for clock in clocks.values()]
+        worst = max(worst, max(values) - min(values))
+    return worst

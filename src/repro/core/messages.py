@@ -1,0 +1,37 @@
+"""Message payloads of the timed protocols (TCB / CPS).
+
+A TCB instance for pulse ``r`` with dealer ``w`` carries exactly one piece
+of information: ``<r>_w``, the dealer's signature on the pulse number.
+Encoding ``r`` in the signed value distinguishes instances, "so that faulty
+nodes cannot reuse old signatures to disrupt an instance" (Figure 2).
+Direct messages and echoes carry the *same* signature; receivers tell them
+apart by the authenticated channel's sender identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.signatures import Signature, verify
+
+
+def tcb_tag(pulse_round: int) -> Tuple[str, int]:
+    """What a TCB dealer signs for pulse number ``pulse_round``."""
+    return ("tcb", pulse_round)
+
+
+@dataclass(frozen=True)
+class TcbMessage:
+    """``<r>_dealer`` in transit (direct from the dealer, or an echo)."""
+
+    pulse_round: int
+    dealer: int
+    signature: Signature
+
+    def signatures(self) -> Tuple[Signature, ...]:
+        return (self.signature,)
+
+    def is_valid(self) -> bool:
+        """Is the carried signature really ``<pulse_round>_dealer``?"""
+        return verify(self.signature, self.dealer, tcb_tag(self.pulse_round))

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the timed simulation substrate."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-layer errors."""
+
+
+class ConfigurationError(SimulationError):
+    """A simulation was configured inconsistently (bad n/f, bounds, ...)."""
+
+
+class ModelViolation(SimulationError):
+    """An execution stepped outside the paper's model.
+
+    Raised e.g. when a delay policy returns a delay outside the admissible
+    interval, when a hardware clock rate leaves ``[1, theta]``, or when a
+    Byzantine node attempts an action the model forbids.
+    """
+
+
+class ForgeryError(ModelViolation):
+    """A faulty node tried to send an honest signature it has not yet seen.
+
+    The paper's adversary "needs to obtain signatures of honest nodes
+    affecting a message it intends to send before it can generate the
+    message"; this error is how the simulator enforces that clause.
+    """
+
+
+class ClockError(SimulationError):
+    """A hardware clock function is malformed (non-monotone, bad rates)."""

@@ -1,0 +1,109 @@
+"""Event records and deterministic ordering for the discrete-event engine.
+
+Continuous real time is represented by floats.  At equal timestamps, events
+are ordered by *kind priority* and then by insertion sequence number:
+
+1. timers fire first,
+2. then message deliveries,
+3. then adversary wakeups.
+
+Timers-before-deliveries makes the strict/open interval checks of the
+paper's Algorithm TCB (Figure 2) resolve correctly at boundaries: a message
+arriving exactly at a window-closing local time must not be counted as
+arriving *inside* the open window, so the window-closing timer must be
+processed first.  Adversary wakeups run last so the adversary observes
+everything that happened "at" that instant, which only makes it stronger.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Event-kind priorities (lower fires first at equal time).
+PRIORITY_TIMER = 0
+PRIORITY_DELIVERY = 1
+PRIORITY_ADVERSARY = 2
+
+
+@dataclass(frozen=True)
+class TimerEvent:
+    """A local timer of an honest node coming due."""
+
+    node: int
+    tag: Any
+    local_time: float
+
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    """A message delivery: ``payload`` from ``src`` arriving at ``dst``."""
+
+    src: int
+    dst: int
+    payload: Any
+    send_time: float
+
+
+@dataclass(frozen=True)
+class AdversaryEvent:
+    """A scheduled callback into the Byzantine behaviour."""
+
+    tag: Any
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    priority: int
+    seq: int
+    event: Any = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """A deterministic priority queue over simulation events."""
+
+    def __init__(self) -> None:
+        self._heap: List[_QueueEntry] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, priority: int, event: Any) -> _QueueEntry:
+        """Schedule ``event`` at ``time`` with the given kind priority."""
+        entry = _QueueEntry(time, priority, next(self._counter), event)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def pop(self) -> Optional[Tuple[float, Any]]:
+        """Remove and return ``(time, event)`` for the next live event."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.cancelled:
+                return entry.time, entry.event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+
+CancelHandle = Callable[[], None]
+
+
+def cancel_handle(entry: _QueueEntry) -> CancelHandle:
+    """Return a callable that cancels ``entry`` when invoked."""
+
+    def cancel() -> None:
+        entry.cancelled = True
+
+    return cancel

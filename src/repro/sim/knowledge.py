@@ -1,0 +1,77 @@
+"""Adversary signature-knowledge tracking (the anti-forgery bookkeeping).
+
+The paper's executions are *well-defined* only if, for each message ``m``
+sent by a faulty node at time ``t``, every honest signature that ``m``
+depends on was contained in some message received by some faulty node by
+time ``t`` (faulty nodes pool knowledge instantly — footnote 1).
+
+:class:`SignatureKnowledge` records, per honest signature, the earliest real
+time the adversary learned it, and refuses faulty sends that would violate
+the rule by raising :class:`~repro.sim.errors.ForgeryError`.  Signatures by
+*faulty* signers are always available to the adversary, which holds the
+corrupted nodes' secret keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Set, Tuple
+
+from repro.crypto.signatures import Signature, collect_signatures
+from repro.sim.clocks import EPS
+from repro.sim.errors import ForgeryError
+
+SignatureKey = Tuple[int, Hashable]
+
+
+class SignatureKnowledge:
+    """Earliest-knowledge table for the (pooled) adversary."""
+
+    def __init__(self, faulty: Iterable[int]) -> None:
+        self.faulty: Set[int] = set(faulty)
+        self._earliest: Dict[SignatureKey, float] = {}
+
+    def learn_payload(self, payload: Any, time: float) -> None:
+        """Record all signatures inside ``payload`` as known from ``time``."""
+        for signature in collect_signatures(payload):
+            self.learn(signature, time)
+
+    def learn(self, signature: Signature, time: float) -> None:
+        """Record ``signature`` as known from ``time`` (keep the earliest)."""
+        key = signature.key()
+        existing = self._earliest.get(key)
+        if existing is None or time < existing:
+            self._earliest[key] = time
+
+    def knows(self, signature: Signature, time: float) -> bool:
+        """Can the adversary produce ``signature`` at ``time``?"""
+        if signature.signer in self.faulty:
+            return True
+        earliest = self._earliest.get(signature.key())
+        return earliest is not None and earliest <= time + EPS
+
+    def earliest_known(self, signature: Signature) -> float:
+        """When the adversary first learned ``signature``.
+
+        Returns ``0.0`` for faulty-signer signatures (always known) and
+        ``inf`` for honest signatures never observed.
+        """
+        if signature.signer in self.faulty:
+            return 0.0
+        return self._earliest.get(signature.key(), float("inf"))
+
+    def check_payload(self, payload: Any, time: float, sender: int) -> None:
+        """Validate a faulty send: every contained signature must be known.
+
+        Raises
+        ------
+        ForgeryError
+            If ``payload`` contains an honest signature the adversary has
+            not received by ``time``.
+        """
+        for signature in collect_signatures(payload):
+            if not self.knows(signature, time):
+                raise ForgeryError(
+                    f"faulty node {sender} tried to send signature "
+                    f"{signature.key()} at time {time}, first known at "
+                    f"{self.earliest_known(signature)}"
+                )

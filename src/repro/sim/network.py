@@ -1,0 +1,231 @@
+"""Network model: configuration and message-delay policies.
+
+The paper assumes a fully connected network where any message to or from an
+honest node is delivered after at least ``d - u`` and at most ``d`` time.
+For the lower bound (and for Section 1's discussion of its consequences),
+links with a faulty endpoint may instead only guarantee a *weaker* minimum
+delay ``d - u_tilde`` with ``u_tilde in [u, d]``.
+
+The adversary controls delays within these bounds.  We expose that control
+as a :class:`DelayPolicy`: a callback invoked per message at send time, so
+policies may be adaptive (they see the full send context).  The scheduler
+validates every returned delay against the model bounds and raises
+:class:`~repro.sim.errors.ModelViolation` otherwise, so a misbehaving policy
+cannot silently break an experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
+
+from repro.sim.clocks import EPS
+from repro.sim.errors import ConfigurationError, ModelViolation
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Static parameters of the network model.
+
+    Attributes
+    ----------
+    n:
+        Number of nodes.
+    d:
+        Maximum end-to-end delay (send to completed processing).
+    u:
+        Delay uncertainty on links between honest nodes; honest-link delays
+        lie in ``[d - u, d]``.
+    u_tilde:
+        Delay uncertainty on links with at least one faulty endpoint
+        (defaults to ``u``).  Setting ``u_tilde > u`` reproduces the lower
+        bound's weaker guarantee for faulty links.
+    """
+
+    n: int
+    d: float
+    u: float
+    u_tilde: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.d <= 0:
+            raise ConfigurationError(f"d must be positive, got {self.d}")
+        if not 0 <= self.u <= self.d:
+            raise ConfigurationError(
+                f"u must lie in [0, d={self.d}], got {self.u}"
+            )
+        if self.u_tilde is not None and not (
+            self.u - EPS <= self.u_tilde <= self.d + EPS
+        ):
+            raise ConfigurationError(
+                f"u_tilde must lie in [u={self.u}, d={self.d}], "
+                f"got {self.u_tilde}"
+            )
+
+    @property
+    def faulty_uncertainty(self) -> float:
+        """Effective uncertainty on links with a faulty endpoint."""
+        return self.u if self.u_tilde is None else self.u_tilde
+
+    def delay_bounds(self, link_is_honest: bool) -> Tuple[float, float]:
+        """Admissible ``(min, max)`` delay for a link."""
+        uncertainty = self.u if link_is_honest else self.faulty_uncertainty
+        return (self.d - uncertainty, self.d)
+
+    def validate_delay(
+        self, delay: float, src_honest: bool, dst_honest: bool
+    ) -> float:
+        """Check ``delay`` against the model; return it (clamped to bounds).
+
+        Raises :class:`ModelViolation` if the delay is outside the
+        admissible interval by more than the floating tolerance.
+        """
+        low, high = self.delay_bounds(src_honest and dst_honest)
+        if delay < low - EPS or delay > high + EPS:
+            raise ModelViolation(
+                f"delay {delay} outside [{low}, {high}] "
+                f"(src_honest={src_honest}, dst_honest={dst_honest})"
+            )
+        return min(max(delay, low), high)
+
+
+class DelayPolicy:
+    """Chooses the delay of each message (the adversary's delay control).
+
+    Subclasses override :meth:`delay`.  The default is the maximum delay
+    ``d`` for every message, which is always admissible.
+    """
+
+    def delay(
+        self,
+        config: NetworkConfig,
+        src: int,
+        dst: int,
+        send_time: float,
+        payload: Any,
+        link_is_honest: bool,
+    ) -> float:
+        return config.d
+
+    def describe(self) -> str:
+        """Short human-readable policy description (for experiment tables)."""
+        return type(self).__name__
+
+
+class MaximumDelayPolicy(DelayPolicy):
+    """Every message takes exactly ``d``."""
+
+
+class MinimumDelayPolicy(DelayPolicy):
+    """Every message takes the minimum admissible delay for its link."""
+
+    def delay(self, config, src, dst, send_time, payload, link_is_honest):
+        low, _high = config.delay_bounds(link_is_honest)
+        return low
+
+
+class ConstantFractionDelayPolicy(DelayPolicy):
+    """Every message takes ``d - fraction * uncertainty`` for its link.
+
+    ``fraction = 0`` is :class:`MaximumDelayPolicy`; ``fraction = 1`` is
+    :class:`MinimumDelayPolicy`.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must lie in [0, 1], got {fraction}"
+            )
+        self.fraction = fraction
+
+    def delay(self, config, src, dst, send_time, payload, link_is_honest):
+        low, high = config.delay_bounds(link_is_honest)
+        return high - self.fraction * (high - low)
+
+    def describe(self) -> str:
+        return f"constant(fraction={self.fraction})"
+
+
+class RandomDelayPolicy(DelayPolicy):
+    """Delays drawn uniformly from the admissible interval, per message."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self.seed = seed
+
+    def delay(self, config, src, dst, send_time, payload, link_is_honest):
+        low, high = config.delay_bounds(link_is_honest)
+        return self._rng.uniform(low, high)
+
+    def describe(self) -> str:
+        return f"random(seed={self.seed})"
+
+
+class BiasedPartitionDelayPolicy(DelayPolicy):
+    """Adversarial delays that pull two node groups apart.
+
+    Messages *within* a group travel at minimum delay, messages *across*
+    groups at maximum delay.  Against averaging-style synchronizers this is
+    the classic worst case: each group perceives the other as farther in
+    the past than it is, sustaining a skew proportional to the uncertainty.
+    """
+
+    def __init__(self, group_a: Iterable[int]) -> None:
+        self.group_a: Set[int] = set(group_a)
+
+    def delay(self, config, src, dst, send_time, payload, link_is_honest):
+        low, high = config.delay_bounds(link_is_honest)
+        same_group = (src in self.group_a) == (dst in self.group_a)
+        return low if same_group else high
+
+    def describe(self) -> str:
+        return f"biased(group_a={sorted(self.group_a)})"
+
+
+class SkewingDelayPolicy(DelayPolicy):
+    """Delays that make group A appear *late* and group B appear *early*.
+
+    Messages from A are delivered as slowly as possible and messages from B
+    as fast as possible.  Receivers therefore estimate A's pulses as later
+    than they were, dragging corrections in opposite directions for the two
+    groups.
+    """
+
+    def __init__(self, slow_senders: Iterable[int]) -> None:
+        self.slow_senders: Set[int] = set(slow_senders)
+
+    def delay(self, config, src, dst, send_time, payload, link_is_honest):
+        low, high = config.delay_bounds(link_is_honest)
+        return high if src in self.slow_senders else low
+
+    def describe(self) -> str:
+        return f"skewing(slow={sorted(self.slow_senders)})"
+
+
+class PerLinkDelayPolicy(DelayPolicy):
+    """Explicit per-link delays with a fallback policy.
+
+    ``overrides`` maps ``(src, dst)`` to a fixed delay.  Used by tests and
+    by the lower-bound cross-checks, where delays are dictated exactly.
+    """
+
+    def __init__(
+        self,
+        overrides: Dict[Tuple[int, int], float],
+        fallback: Optional[DelayPolicy] = None,
+    ) -> None:
+        self.overrides = dict(overrides)
+        self.fallback = fallback or MaximumDelayPolicy()
+
+    def delay(self, config, src, dst, send_time, payload, link_is_honest):
+        if (src, dst) in self.overrides:
+            return self.overrides[(src, dst)]
+        return self.fallback.delay(
+            config, src, dst, send_time, payload, link_is_honest
+        )
+
+    def describe(self) -> str:
+        return f"per-link({len(self.overrides)} overrides)"

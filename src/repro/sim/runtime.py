@@ -1,0 +1,89 @@
+"""Protocol-facing runtime interface.
+
+Timed protocols (Algorithm CPS and the baselines) are written as
+engine-agnostic state machines against :class:`NodeAPI`.  The honest
+simulator (:mod:`repro.sim.scheduler`) and the lower-bound construction
+(:mod:`repro.core.lower_bound`) both provide implementations, so the *same*
+protocol code runs in both worlds — which is essential for Theorem 5
+experiments, where a faulty node must simulate its own honest behaviour.
+
+A protocol may only observe time through :meth:`NodeAPI.local_time` and may
+only schedule future work through local-time timers; it has no access to
+real time, matching the model ("nodes have no access to the true time").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable
+
+from repro.crypto.signatures import Signature
+
+
+class NodeAPI(abc.ABC):
+    """Capabilities the runtime grants to an honest protocol instance."""
+
+    node_id: int
+    n: int
+    f: int
+
+    @abc.abstractmethod
+    def local_time(self) -> float:
+        """Current hardware-clock reading ``H_v(now)``."""
+
+    @abc.abstractmethod
+    def set_timer(self, local_when: float, tag: Any) -> None:
+        """Request ``on_timer(tag)`` when the local clock reads
+        ``local_when``.
+
+        Targets at or before the current local time fire immediately (at the
+        current instant); the runtime records such occurrences as warnings
+        since well-parameterized protocols never need them.
+        """
+
+    @abc.abstractmethod
+    def send(self, dst: int, payload: Any) -> None:
+        """Send ``payload`` to ``dst`` over the authenticated channel."""
+
+    @abc.abstractmethod
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every node except self."""
+
+    @abc.abstractmethod
+    def sign(self, value: Hashable) -> Signature:
+        """Produce this node's signature on ``value``."""
+
+    @abc.abstractmethod
+    def pulse(self) -> None:
+        """Generate the next pulse (records the pulse time)."""
+
+    @abc.abstractmethod
+    def annotate(self, kind: str, details: Any) -> None:
+        """Attach a protocol-specific record to the execution trace."""
+
+
+class TimedProtocol(abc.ABC):
+    """Base class for message-driven timed protocols.
+
+    The runtime calls :meth:`on_start` once at real time 0, then
+    :meth:`on_message` / :meth:`on_timer` as events arrive.  Handlers must
+    not block; all waiting is expressed through timers.
+    """
+
+    @abc.abstractmethod
+    def on_start(self, api: NodeAPI) -> None:
+        """Initialize; called once when the execution begins."""
+
+    @abc.abstractmethod
+    def on_message(self, api: NodeAPI, sender: int, payload: Any) -> None:
+        """Handle a delivered message.
+
+        ``sender`` is the channel-authenticated identity of the node the
+        message physically came from (channels are authenticated, so even a
+        faulty sender cannot spoof this; it *can* relay other nodes'
+        signatures inside ``payload``).
+        """
+
+    @abc.abstractmethod
+    def on_timer(self, api: NodeAPI, tag: Any) -> None:
+        """Handle a timer previously set via :meth:`NodeAPI.set_timer`."""

@@ -1,0 +1,449 @@
+"""The timed discrete-event simulator.
+
+:class:`Simulation` wires together the model pieces — hardware clocks,
+delay-controlled network, PKI, honest protocol instances, and a Byzantine
+behaviour — and runs an execution:
+
+* honest node ``v`` runs a :class:`~repro.sim.runtime.TimedProtocol` behind a
+  :class:`~repro.sim.runtime.NodeAPI` backed by ``v``'s hardware clock;
+* every message's delay is chosen by the
+  :class:`~repro.sim.network.DelayPolicy` and validated against the model;
+* faulty nodes are driven by a single
+  :class:`~repro.sim.adversary.ByzantineBehavior` (the adversary) through an
+  :class:`AdversaryContext` that can send arbitrary messages from any faulty
+  identity — subject to the signature-knowledge rule enforced by
+  :class:`~repro.sim.knowledge.SignatureKnowledge`.
+
+The run is deterministic given the configuration and all seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Set
+
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.crypto.signatures import Signature
+from repro.sim.clocks import EPS, HardwareClock
+from repro.sim.errors import ConfigurationError, SimulationError
+from repro.sim.events import (
+    PRIORITY_ADVERSARY,
+    PRIORITY_DELIVERY,
+    PRIORITY_TIMER,
+    AdversaryEvent,
+    DeliveryEvent,
+    EventQueue,
+    TimerEvent,
+)
+from repro.sim.knowledge import SignatureKnowledge
+from repro.sim.network import DelayPolicy, MaximumDelayPolicy, NetworkConfig
+from repro.sim.runtime import NodeAPI, TimedProtocol
+from repro.sim.trace import (
+    DeliveryRecord,
+    PulseRecord,
+    SendRecord,
+    TimerRecord,
+    Trace,
+)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a run: per-node pulse times plus diagnostics."""
+
+    pulses: Dict[int, List[float]]
+    honest: List[int]
+    trace: Trace
+    warnings: List[str] = field(default_factory=list)
+    events_processed: int = 0
+    end_time: float = 0.0
+
+    def honest_pulses(self) -> Dict[int, List[float]]:
+        """Pulse-time lists restricted to honest nodes."""
+        return {v: self.pulses[v] for v in self.honest}
+
+
+class _SimNodeAPI(NodeAPI):
+    """The :class:`NodeAPI` implementation backed by the simulator."""
+
+    def __init__(self, sim: "Simulation", node_id: int) -> None:
+        self._sim = sim
+        self.node_id = node_id
+        self.n = sim.config.n
+        self.f = sim.f
+        self._clock = sim.clocks[node_id]
+        self._key_pair = sim.pki.key_pair(node_id)
+
+    def local_time(self) -> float:
+        return self._clock.local_time(self._sim.now)
+
+    def set_timer(self, local_when: float, tag: Any) -> None:
+        real = self._clock.real_time(local_when)
+        if real < self._sim.now - 1e-6:
+            self._sim.warnings.append(
+                f"node {self.node_id}: timer target local {local_when} "
+                f"(real {real}) is in the past at {self._sim.now}"
+            )
+        real = max(real, self._sim.now)
+        self._sim.queue.push(
+            real,
+            PRIORITY_TIMER,
+            TimerEvent(self.node_id, tag, local_when),
+        )
+
+    def send(self, dst: int, payload: Any) -> None:
+        self._sim.honest_send(self.node_id, dst, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        for dst in range(self.n):
+            if dst != self.node_id:
+                self._sim.honest_send(self.node_id, dst, payload)
+
+    def sign(self, value: Hashable) -> Signature:
+        return self._key_pair.sign(value)
+
+    def pulse(self) -> None:
+        self._sim.record_pulse(self.node_id)
+
+    def annotate(self, kind: str, details: Any) -> None:
+        self._sim.trace.protocol(
+            time=self._sim.now, node=self.node_id, kind=kind, details=details
+        )
+
+
+class AdversaryContext:
+    """What the Byzantine behaviour may see and do.
+
+    The adversary has full visibility (it chose clocks and delays and, being
+    rushing, observes all traffic), but its *sends* are checked: honest
+    signatures it includes must already be known (no forgery), explicit
+    delays must respect the faulty-link bounds, and it can only send from
+    corrupted identities.
+    """
+
+    def __init__(self, sim: "Simulation") -> None:
+        self._sim = sim
+
+    # -- observation ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    @property
+    def config(self) -> NetworkConfig:
+        return self._sim.config
+
+    @property
+    def f(self) -> int:
+        return self._sim.f
+
+    @property
+    def faulty(self) -> Set[int]:
+        return set(self._sim.faulty)
+
+    @property
+    def honest(self) -> List[int]:
+        return list(self._sim.honest)
+
+    @property
+    def knowledge(self) -> SignatureKnowledge:
+        return self._sim.knowledge
+
+    def clock_of(self, node: int) -> HardwareClock:
+        """The adversary fixed the clocks; it may inspect them."""
+        return self._sim.clocks[node]
+
+    def pulses_of(self, node: int) -> List[float]:
+        return list(self._sim.pulses[node])
+
+    def local_time_of(self, node: int) -> float:
+        return self._sim.clocks[node].local_time(self._sim.now)
+
+    # -- actions ----------------------------------------------------------
+
+    def sign_as(self, faulty_id: int, value: Hashable) -> Signature:
+        """Sign with a corrupted node's secret key."""
+        if faulty_id not in self._sim.faulty:
+            raise SimulationError(
+                f"adversary cannot sign for honest node {faulty_id}"
+            )
+        return self._sim.pki.key_pair(faulty_id).sign(value)
+
+    def send_from(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        delay: Optional[float] = None,
+    ) -> None:
+        """Send ``payload`` from faulty ``src`` to ``dst`` right now.
+
+        ``delay=None`` defers to the delay policy; an explicit delay is
+        validated against the faulty-link bounds ``[d - u_tilde, d]``.
+        """
+        if src not in self._sim.faulty:
+            raise SimulationError(
+                f"adversary cannot send from honest node {src}"
+            )
+        self._sim.faulty_send(src, dst, payload, delay)
+
+    def broadcast_from(
+        self,
+        src: int,
+        payload: Any,
+        delay: Optional[float] = None,
+        targets: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Send from faulty ``src`` to ``targets`` (default: all others)."""
+        recipients = (
+            [v for v in range(self._sim.config.n) if v != src]
+            if targets is None
+            else list(targets)
+        )
+        for dst in recipients:
+            self.send_from(src, dst, payload, delay)
+
+    def wake_at(self, time: float, tag: Any = None) -> None:
+        """Request an ``on_wakeup(tag)`` callback at real ``time``."""
+        if time < self._sim.now - EPS:
+            raise SimulationError(
+                f"cannot schedule adversary wakeup in the past: {time}"
+            )
+        self._sim.queue.push(
+            max(time, self._sim.now), PRIORITY_ADVERSARY, AdversaryEvent(tag)
+        )
+
+
+class Simulation:
+    """A single timed execution of a protocol under a chosen adversary."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        clocks: Sequence[HardwareClock],
+        protocol_factory,
+        faulty: Iterable[int] = (),
+        behavior=None,
+        delay_policy: Optional[DelayPolicy] = None,
+        f: Optional[int] = None,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.config = config
+        if len(clocks) != config.n:
+            raise ConfigurationError(
+                f"need {config.n} clocks, got {len(clocks)}"
+            )
+        self.clocks = list(clocks)
+        self.faulty: Set[int] = set(faulty)
+        if any(v < 0 or v >= config.n for v in self.faulty):
+            raise ConfigurationError(f"faulty set {self.faulty} out of range")
+        self.honest: List[int] = [
+            v for v in range(config.n) if v not in self.faulty
+        ]
+        self.f = f if f is not None else len(self.faulty)
+        if len(self.faulty) > self.f:
+            raise ConfigurationError(
+                f"{len(self.faulty)} corruptions exceed declared f={self.f}"
+            )
+        self.delay_policy = delay_policy or MaximumDelayPolicy()
+        self.pki = PublicKeyInfrastructure(config.n)
+        self.knowledge = SignatureKnowledge(self.faulty)
+        self.queue = EventQueue()
+        self.trace = trace if trace is not None else Trace()
+        self.now = 0.0
+        self.warnings: List[str] = []
+        self.pulses: Dict[int, List[float]] = {
+            v: [] for v in range(config.n)
+        }
+        self.events_processed = 0
+
+        self._protocols: Dict[int, TimedProtocol] = {}
+        self._apis: Dict[int, _SimNodeAPI] = {}
+        for v in self.honest:
+            self._protocols[v] = protocol_factory(v)
+            self._apis[v] = _SimNodeAPI(self, v)
+
+        self.behavior = behavior
+        self._adversary_ctx = AdversaryContext(self)
+
+    def protocol(self, node: int) -> TimedProtocol:
+        """The protocol instance of an honest node (for diagnostics)."""
+        return self._protocols[node]
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+
+    def honest_send(self, src: int, dst: int, payload: Any) -> None:
+        """Dispatch a send by an honest node through the delay policy."""
+        link_is_honest = dst not in self.faulty  # src is honest here
+        delay = self.delay_policy.delay(
+            self.config, src, dst, self.now, payload, link_is_honest
+        )
+        delay = self.config.validate_delay(
+            delay, src_honest=True, dst_honest=dst not in self.faulty
+        )
+        self.trace.send(
+            time=self.now,
+            src=src,
+            dst=dst,
+            payload=payload,
+            delay=delay,
+            src_honest=True,
+        )
+        self.queue.push(
+            self.now + delay,
+            PRIORITY_DELIVERY,
+            DeliveryEvent(src, dst, payload, self.now),
+        )
+        if self.behavior is not None:
+            self.behavior.on_honest_send(
+                self._adversary_ctx,
+                SendRecord(
+                    time=self.now,
+                    src=src,
+                    dst=dst,
+                    payload=payload,
+                    delay=delay,
+                    src_honest=True,
+                ),
+            )
+
+    def faulty_send(
+        self, src: int, dst: int, payload: Any, delay: Optional[float]
+    ) -> None:
+        """Dispatch a send by a faulty node (knowledge-checked)."""
+        self.knowledge.check_payload(payload, self.now, src)
+        if delay is None:
+            delay = self.delay_policy.delay(
+                self.config, src, dst, self.now, payload, False
+            )
+        delay = self.config.validate_delay(
+            delay, src_honest=False, dst_honest=dst not in self.faulty
+        )
+        self.trace.send(
+            time=self.now,
+            src=src,
+            dst=dst,
+            payload=payload,
+            delay=delay,
+            src_honest=False,
+        )
+        self.queue.push(
+            self.now + delay,
+            PRIORITY_DELIVERY,
+            DeliveryEvent(src, dst, payload, self.now),
+        )
+
+    def record_pulse(self, node: int) -> None:
+        self.pulses[node].append(self.now)
+        self.trace.pulse(
+            time=self.now,
+            node=node,
+            index=len(self.pulses[node]),
+            local_time=self.clocks[node].local_time(self.now),
+        )
+        if self.behavior is not None and node not in self.faulty:
+            self.behavior.on_pulse(
+                self._adversary_ctx, node, len(self.pulses[node]), self.now
+            )
+
+    # ------------------------------------------------------------------
+    # Main loop
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_pulses: Optional[int] = None,
+        max_events: int = 5_000_000,
+    ) -> SimulationResult:
+        """Execute until quiescence, a time horizon, or a pulse quota.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated real time would exceed this value.
+        max_pulses:
+            Stop once every honest node has generated this many pulses.
+        max_events:
+            Hard safety cap on processed events.
+        """
+        if until is None and max_pulses is None:
+            raise ConfigurationError(
+                "provide a stop condition (until / max_pulses)"
+            )
+        for v in self.honest:
+            self._protocols[v].on_start(self._apis[v])
+        if self.behavior is not None:
+            self.behavior.on_start(self._adversary_ctx)
+
+        while True:
+            if max_pulses is not None and self.honest and all(
+                len(self.pulses[v]) >= max_pulses for v in self.honest
+            ):
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until + EPS:
+                break
+            popped = self.queue.pop()
+            assert popped is not None
+            self.now, event = popped
+            self.events_processed += 1
+            if self.events_processed > max_events:
+                raise SimulationError(
+                    f"event cap of {max_events} exceeded — runaway execution?"
+                )
+            self._dispatch(event)
+
+        return SimulationResult(
+            pulses={v: list(times) for v, times in self.pulses.items()},
+            honest=list(self.honest),
+            trace=self.trace,
+            warnings=list(self.warnings),
+            events_processed=self.events_processed,
+            end_time=self.now,
+        )
+
+    def _dispatch(self, event: Any) -> None:
+        if isinstance(event, TimerEvent):
+            self.trace.timer(
+                time=self.now,
+                node=event.node,
+                tag=event.tag,
+                local_time=event.local_time,
+            )
+            if event.node in self._protocols:
+                self._protocols[event.node].on_timer(
+                    self._apis[event.node], event.tag
+                )
+        elif isinstance(event, DeliveryEvent):
+            self.trace.delivery(
+                time=self.now,
+                src=event.src,
+                dst=event.dst,
+                payload=event.payload,
+            )
+            if event.dst in self.faulty:
+                # Knowledge pools across faulty nodes at reception time.
+                self.knowledge.learn_payload(event.payload, self.now)
+                if self.behavior is not None:
+                    self.behavior.on_deliver(
+                        self._adversary_ctx,
+                        DeliveryRecord(
+                            time=self.now,
+                            src=event.src,
+                            dst=event.dst,
+                            payload=event.payload,
+                        ),
+                    )
+            elif event.dst in self._protocols:
+                self._protocols[event.dst].on_message(
+                    self._apis[event.dst], event.src, event.payload
+                )
+        elif isinstance(event, AdversaryEvent):
+            if self.behavior is not None:
+                self.behavior.on_wakeup(self._adversary_ctx, event.tag)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event type: {event!r}")

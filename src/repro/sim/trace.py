@@ -1,0 +1,125 @@
+"""Structured execution traces.
+
+A :class:`Trace` collects typed records of everything observable in a
+simulation: sends, deliveries, timers, pulses, and protocol-specific events
+(e.g. a TCB instance resolving to ⊥ and why).  Traces power debugging,
+the examples' narrative output, and several tests that assert on *how* an
+outcome was reached rather than just on the outcome.
+
+Tracing can be disabled (``Trace(enabled=False)``) for large sweeps; all
+recording methods become no-ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """A message left ``src`` bound for ``dst``."""
+
+    time: float
+    src: int
+    dst: int
+    payload: Any
+    delay: float
+    src_honest: bool
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """A message completed processing at ``dst``."""
+
+    time: float
+    src: int
+    dst: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class TimerRecord:
+    """A local timer fired at ``node``."""
+
+    time: float
+    node: int
+    tag: Any
+    local_time: float
+
+
+@dataclass(frozen=True)
+class PulseRecord:
+    """Node ``node`` generated its ``index``-th pulse (1-based)."""
+
+    time: float
+    node: int
+    index: int
+    local_time: float
+
+
+@dataclass(frozen=True)
+class ProtocolRecord:
+    """A protocol-specific annotation (kind + free-form details)."""
+
+    time: float
+    node: int
+    kind: str
+    details: Any
+
+
+TraceRecord = Any
+
+
+class Trace:
+    """An append-only, optionally disabled, log of simulation records."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def record(self, record: TraceRecord) -> None:
+        if self.enabled:
+            self.records.append(record)
+
+    # Convenience constructors -----------------------------------------
+
+    def send(self, **kwargs: Any) -> None:
+        self.record(SendRecord(**kwargs)) if self.enabled else None
+
+    def delivery(self, **kwargs: Any) -> None:
+        self.record(DeliveryRecord(**kwargs)) if self.enabled else None
+
+    def timer(self, **kwargs: Any) -> None:
+        self.record(TimerRecord(**kwargs)) if self.enabled else None
+
+    def pulse(self, **kwargs: Any) -> None:
+        self.record(PulseRecord(**kwargs)) if self.enabled else None
+
+    def protocol(self, **kwargs: Any) -> None:
+        self.record(ProtocolRecord(**kwargs)) if self.enabled else None
+
+    # Queries -----------------------------------------------------------
+
+    def of_type(self, record_type: type) -> Iterator[TraceRecord]:
+        """All records of one record class, in chronological order."""
+        return (r for r in self.records if isinstance(r, record_type))
+
+    def where(
+        self, predicate: Callable[[TraceRecord], bool]
+    ) -> Iterator[TraceRecord]:
+        return (r for r in self.records if predicate(r))
+
+    def pulses_of(self, node: int) -> List[PulseRecord]:
+        return [r for r in self.of_type(PulseRecord) if r.node == node]
+
+    def protocol_events(
+        self, kind: Optional[str] = None
+    ) -> List[ProtocolRecord]:
+        events = list(self.of_type(ProtocolRecord))
+        if kind is None:
+            return events
+        return [r for r in events if r.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)

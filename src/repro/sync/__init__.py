@@ -1,0 +1,63 @@
+"""Synchronous-round substrate and protocols (Section 2 of the paper).
+
+Provides the compute-send-receive round engine with a rushing adversary,
+crusader broadcast (Algorithm CB, Figure 4), iterated approximate agreement
+(Algorithm APA, Figure 1 / Theorem 9 / Corollary 2), and Dolev-Strong
+authenticated broadcast (baseline substrate).
+"""
+
+from repro.sync.approx_agreement import (
+    ApaEquivocatingAdversary,
+    ApaExtremeAdversary,
+    ApaNode,
+    ApaResult,
+    ApaSplitAdversary,
+    iterations_for_target,
+    midpoint_rule,
+    run_apa,
+)
+from repro.sync.crusader import (
+    BOT,
+    CbEcho,
+    CbValue,
+    CrusaderBroadcastNode,
+    resolve_crusader,
+    signed_value_tag,
+)
+from repro.sync.dolev_strong import DolevStrongNode, DsMessage, ds_tag
+from repro.sync.round_model import (
+    BROADCAST,
+    RoundMessage,
+    SyncAdversary,
+    SyncAdversaryContext,
+    SyncNode,
+    SyncNodeContext,
+    SynchronousNetwork,
+)
+
+__all__ = [
+    "ApaEquivocatingAdversary",
+    "ApaExtremeAdversary",
+    "ApaNode",
+    "ApaResult",
+    "ApaSplitAdversary",
+    "BOT",
+    "BROADCAST",
+    "CbEcho",
+    "CbValue",
+    "CrusaderBroadcastNode",
+    "DolevStrongNode",
+    "DsMessage",
+    "RoundMessage",
+    "SyncAdversary",
+    "SyncAdversaryContext",
+    "SyncNode",
+    "SyncNodeContext",
+    "SynchronousNetwork",
+    "ds_tag",
+    "iterations_for_target",
+    "midpoint_rule",
+    "resolve_crusader",
+    "run_apa",
+    "signed_value_tag",
+]

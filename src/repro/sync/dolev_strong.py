@@ -1,0 +1,132 @@
+"""Dolev-Strong authenticated broadcast (used as a baseline substrate).
+
+The classic signature-based broadcast [16]: the dealer signs and sends its
+value; in round ``k`` a node accepts a value carried by a chain of ``k``
+distinct signatures starting with the dealer's, and (if ``k <= f``) relays
+it with its own signature appended.  After ``f + 1`` rounds all honest nodes
+have extracted the same value set; they output the unique value if there is
+exactly one, else a default (⊥).
+
+This tolerates any ``f < n - 1`` corruptions, but costs ``f + 1`` rounds —
+which is exactly why consensus-based clock synchronization pays a
+``Theta(n (u + (theta-1) d))`` skew (experiment E6 / the chain-relay
+baseline): timing information funnelled through signature chains of length
+up to ``f + 1`` accumulates one hop's uncertainty per link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.crypto.signatures import Signature, verify
+from repro.sync.crusader import BOT
+from repro.sync.round_model import BROADCAST, SyncNode
+
+
+def ds_tag(instance: Hashable, value: Hashable) -> Tuple:
+    """What every signer signs for a Dolev-Strong value."""
+    return ("ds", instance, value)
+
+
+@dataclass(frozen=True)
+class DsMessage:
+    """A value plus its signature chain (dealer first, relayers appended)."""
+
+    instance: Hashable
+    dealer: int
+    value: Hashable
+    chain: Tuple[Signature, ...]
+
+    def signatures(self) -> Tuple[Signature, ...]:
+        return self.chain
+
+    def is_valid_at_round(self, round_no: int) -> bool:
+        """Chain sanity for acceptance in ``round_no``.
+
+        Needs at least ``round_no`` distinct signers, the first being the
+        dealer, and every signature binding the same ``(instance, value)``.
+        """
+        if len(self.chain) < round_no:
+            return False
+        if not self.chain or self.chain[0].signer != self.dealer:
+            return False
+        signers = [sig.signer for sig in self.chain]
+        if len(set(signers)) != len(signers):
+            return False
+        tag = ds_tag(self.instance, self.value)
+        return all(verify(sig, sig.signer, tag) for sig in self.chain)
+
+
+class DolevStrongNode(SyncNode):
+    """One node of a single Dolev-Strong broadcast instance.
+
+    Runs for ``f + 1`` rounds; sets :attr:`output` after the last round.
+    """
+
+    def __init__(
+        self,
+        dealer: int,
+        input_value: Hashable = None,
+        instance: Hashable = "ds-standalone",
+    ) -> None:
+        super().__init__()
+        self.dealer = dealer
+        self.input_value = input_value
+        self.instance = instance
+        self.extracted: Set[Hashable] = set()
+        self._to_relay: List[DsMessage] = []
+
+    def begin_round(self, round_no: int) -> Dict[Any, Any]:
+        assert self.ctx is not None
+        if round_no == 1 and self.ctx.node_id == self.dealer:
+            signature = self.ctx.sign(ds_tag(self.instance, self.input_value))
+            self.extracted.add(self.input_value)
+            return {
+                BROADCAST: DsMessage(
+                    self.instance, self.dealer, self.input_value, (signature,)
+                )
+            }
+        if self._to_relay:
+            sends = {BROADCAST: tuple(self._to_relay)}
+            self._to_relay = []
+            return sends
+        return {}
+
+    def end_round(self, round_no: int, inbox: Dict[int, Any]) -> None:
+        assert self.ctx is not None
+        for payload in inbox.values():
+            messages = (
+                payload if isinstance(payload, tuple) else (payload,)
+            )
+            for message in messages:
+                if not isinstance(message, DsMessage):
+                    continue
+                if message.instance != self.instance:
+                    continue
+                if message.dealer != self.dealer:
+                    continue
+                if not message.is_valid_at_round(round_no):
+                    continue
+                if message.value in self.extracted:
+                    continue
+                if any(
+                    sig.signer == self.ctx.node_id for sig in message.chain
+                ):
+                    continue
+                self.extracted.add(message.value)
+                if round_no <= self.ctx.f:
+                    own = self.ctx.sign(ds_tag(self.instance, message.value))
+                    self._to_relay.append(
+                        DsMessage(
+                            self.instance,
+                            self.dealer,
+                            message.value,
+                            message.chain + (own,),
+                        )
+                    )
+        if round_no >= self.ctx.f + 1:
+            if len(self.extracted) == 1:
+                self.output = next(iter(self.extracted))
+            else:
+                self.output = BOT

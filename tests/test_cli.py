@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("E1", "E4", "E7", "A1"):
+            assert name in out
+
+
+class TestRun:
+    def test_runs_experiment(self, capsys):
+        assert main(["run", "E2"]) == 0
+        out = capsys.readouterr().out
+        assert "Crusader broadcast" in out
+
+    def test_writes_csv(self, tmp_path, capsys):
+        path = os.path.join(tmp_path, "e2.csv")
+        assert main(["run", "E2", "--csv", path]) == 0
+        assert os.path.exists(path)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "E99"])
+
+
+class TestParams:
+    def test_prints_bounds(self, capsys):
+        assert (
+            main(
+                [
+                    "params",
+                    "--theta", "1.001",
+                    "--d", "1.0",
+                    "--u", "0.01",
+                    "--n", "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "S (skew bound)" in out
+        assert "f=3" in out
+
+    def test_explicit_f(self, capsys):
+        assert (
+            main(
+                [
+                    "params",
+                    "--theta", "1.001",
+                    "--d", "1.0",
+                    "--u", "0.01",
+                    "--n", "8",
+                    "--f", "2",
+                ]
+            )
+            == 0
+        )
+        assert "f=2" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

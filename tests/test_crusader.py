@@ -1,0 +1,149 @@
+"""Tests for Algorithm CB (Figure 4): validity + crusader consistency."""
+
+import pytest
+
+from repro.core.params import max_faults
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.sync.crusader import (
+    BOT,
+    CbEquivocatingDealer,
+    CbSubsetDealer,
+    CbValue,
+    CrusaderBroadcastNode,
+    resolve_crusader,
+    signed_value_tag,
+)
+from repro.sync.round_model import SynchronousNetwork
+
+
+def run_cb(n, dealer, faulty=(), adversary=None, input_value=1):
+    nodes = {
+        v: CrusaderBroadcastNode(dealer, input_value=input_value)
+        for v in range(n)
+        if v not in set(faulty)
+    }
+    network = SynchronousNetwork(
+        nodes, n, max_faults(n), faulty, adversary
+    )
+    return network.run(2)
+
+
+class TestResolveCrusader:
+    def setup_method(self):
+        self.pki = PublicKeyInfrastructure(3)
+        self.instance = ("cb", 0)
+
+    def _value(self, dealer, value):
+        return CbValue(
+            self.instance,
+            dealer,
+            value,
+            self.pki.key_pair(dealer).sign(
+                signed_value_tag(self.instance, value)
+            ),
+        )
+
+    def test_no_direct_is_bot(self):
+        assert resolve_crusader(self.instance, 0, None, []) is BOT
+
+    def test_valid_direct_is_output(self):
+        direct = self._value(0, 1)
+        assert resolve_crusader(self.instance, 0, direct, [direct]) == 1
+
+    def test_conflicting_valid_values_is_bot(self):
+        direct = self._value(0, 1)
+        other = self._value(0, 0)
+        assert (
+            resolve_crusader(self.instance, 0, direct, [direct, other])
+            is BOT
+        )
+
+    def test_invalid_signature_ignored(self):
+        direct = self._value(0, 1)
+        # A value claiming dealer 0 but signed by node 1 is noise.
+        forged = CbValue(
+            self.instance,
+            0,
+            0,
+            self.pki.key_pair(1).sign(signed_value_tag(self.instance, 0)),
+        )
+        assert (
+            resolve_crusader(self.instance, 0, direct, [direct, forged]) == 1
+        )
+
+    def test_wrong_instance_ignored(self):
+        direct = self._value(0, 1)
+        stale = CbValue(
+            ("cb", 99),
+            0,
+            0,
+            self.pki.key_pair(0).sign(signed_value_tag(("cb", 99), 0)),
+        )
+        assert (
+            resolve_crusader(self.instance, 0, direct, [direct, stale]) == 1
+        )
+
+    def test_invalid_direct_is_bot(self):
+        bad_direct = CbValue(
+            self.instance,
+            0,
+            1,
+            self.pki.key_pair(1).sign(signed_value_tag(self.instance, 1)),
+        )
+        assert resolve_crusader(self.instance, 0, bad_direct, []) is BOT
+
+    def test_bot_singleton_repr(self):
+        assert repr(BOT) == "⊥"
+        assert type(BOT)() is BOT
+
+
+class TestCrusaderBroadcastProtocol:
+    @pytest.mark.parametrize("n", [3, 4, 7, 10])
+    def test_validity_honest_dealer(self, n):
+        f = max_faults(n)
+        faulty = list(range(n - f, n)) if 0 not in range(n - f, n) else []
+        outputs = run_cb(n, dealer=0, faulty=faulty)
+        assert all(output == 1 for output in outputs.values())
+
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    def test_consistency_equivocating_dealer(self, n):
+        dealer = n - 1
+        outputs = run_cb(
+            n,
+            dealer,
+            faulty=[dealer],
+            adversary=CbEquivocatingDealer(dealer, 0, 1),
+        )
+        non_bot = {v for v in outputs.values() if v is not BOT}
+        assert len(non_bot) <= 1
+
+    def test_equivocation_seen_by_all_yields_all_bot(self):
+        # With honest echoes, every honest node sees both signed values.
+        outputs = run_cb(
+            4, 3, faulty=[3], adversary=CbEquivocatingDealer(3, 0, 1)
+        )
+        assert all(output is BOT for output in outputs.values())
+
+    def test_subset_dealer_mixes_value_and_bot(self):
+        n = 7
+        dealer = n - 1
+        honest = list(range(n - 1))
+        subset = honest[:3]
+        outputs = run_cb(
+            n,
+            dealer,
+            faulty=[dealer],
+            adversary=CbSubsetDealer(dealer, 1, subset),
+        )
+        for v in subset:
+            assert outputs[v] == 1
+        for v in honest[3:]:
+            assert outputs[v] is BOT
+
+    def test_silent_dealer_yields_all_bot(self):
+        outputs = run_cb(5, dealer=4, faulty=[4])
+        assert all(output is BOT for output in outputs.values())
+
+    def test_binary_zero_value_transported(self):
+        outputs = run_cb(4, dealer=0, input_value=0)
+        assert all(output == 0 for output in outputs.values())

@@ -1,0 +1,113 @@
+"""Tests for Dolev-Strong authenticated broadcast (baseline substrate)."""
+
+import pytest
+
+from repro.sync.crusader import BOT
+from repro.sync.dolev_strong import DolevStrongNode, DsMessage, ds_tag
+from repro.sync.round_model import RoundMessage, SyncAdversary, SynchronousNetwork
+
+
+def run_ds(n, f, dealer, faulty=(), adversary=None, input_value="v"):
+    nodes = {
+        v: DolevStrongNode(dealer, input_value=input_value)
+        for v in range(n)
+        if v not in set(faulty)
+    }
+    network = SynchronousNetwork(nodes, n, f, faulty, adversary)
+    outputs = network.run(f + 1)
+    return outputs, nodes
+
+
+class TestHonestDealer:
+    @pytest.mark.parametrize("n,f", [(4, 1), (5, 2), (7, 3)])
+    def test_agreement_and_validity(self, n, f):
+        faulty = list(range(n - f, n))
+        outputs, _ = run_ds(n, f, dealer=0, faulty=faulty)
+        assert all(output == "v" for output in outputs.values())
+
+    def test_single_round_when_f_zero(self):
+        outputs, _ = run_ds(3, 0, dealer=1)
+        assert all(output == "v" for output in outputs.values())
+
+
+class EquivocatingDsDealer(SyncAdversary):
+    """Faulty dealer sends value 'a' to half the nodes, 'b' to the rest."""
+
+    def __init__(self, dealer):
+        self.dealer = dealer
+
+    def round_messages(self, ctx, round_no, honest_messages):
+        if round_no != 1:
+            return []
+        messages = []
+        for index, dst in enumerate(sorted(ctx.honest)):
+            value = "a" if index % 2 == 0 else "b"
+            message = DsMessage(
+                "ds-standalone",
+                self.dealer,
+                value,
+                (ctx.sign_as(self.dealer, ds_tag("ds-standalone", value)),),
+            )
+            messages.append(RoundMessage(self.dealer, dst, message))
+        return messages
+
+
+class TestFaultyDealer:
+    @pytest.mark.parametrize("n,f", [(4, 1), (5, 2)])
+    def test_equivocation_yields_agreement_on_bot(self, n, f):
+        dealer = n - 1
+        faulty = [dealer] + list(range(n - f, n - 1))
+        outputs, _ = run_ds(
+            n, f, dealer, faulty=faulty, adversary=EquivocatingDsDealer(dealer)
+        )
+        values = set(outputs.values())
+        # All honest agree — on ⊥ (both chains relayed to everyone).
+        assert len(values) == 1
+        assert values == {BOT}
+
+    def test_silent_dealer_yields_bot(self):
+        outputs, _ = run_ds(4, 1, dealer=3, faulty=[3])
+        assert all(output is BOT for output in outputs.values())
+
+
+class TestChainValidation:
+    def test_chain_needs_dealer_first(self):
+        from repro.crypto.pki import PublicKeyInfrastructure
+
+        pki = PublicKeyInfrastructure(3)
+        message = DsMessage(
+            "i", 0, "v", (pki.key_pair(1).sign(ds_tag("i", "v")),)
+        )
+        assert not message.is_valid_at_round(1)
+
+    def test_chain_needs_distinct_signers(self):
+        from repro.crypto.pki import PublicKeyInfrastructure
+
+        pki = PublicKeyInfrastructure(3)
+        sig = pki.key_pair(0).sign(ds_tag("i", "v"))
+        message = DsMessage("i", 0, "v", (sig, sig))
+        assert not message.is_valid_at_round(2)
+
+    def test_chain_length_must_cover_round(self):
+        from repro.crypto.pki import PublicKeyInfrastructure
+
+        pki = PublicKeyInfrastructure(3)
+        sig = pki.key_pair(0).sign(ds_tag("i", "v"))
+        message = DsMessage("i", 0, "v", (sig,))
+        assert message.is_valid_at_round(1)
+        assert not message.is_valid_at_round(2)
+
+    def test_signatures_must_bind_same_value(self):
+        from repro.crypto.pki import PublicKeyInfrastructure
+
+        pki = PublicKeyInfrastructure(3)
+        message = DsMessage(
+            "i",
+            0,
+            "v",
+            (
+                pki.key_pair(0).sign(ds_tag("i", "v")),
+                pki.key_pair(1).sign(ds_tag("i", "OTHER")),
+            ),
+        )
+        assert not message.is_valid_at_round(2)

@@ -1,0 +1,105 @@
+"""Tests for pulse-derived logical clocks and the synchronizer view."""
+
+import pytest
+
+from repro.core.cps import build_cps_simulation
+from repro.core.logical_clock import (
+    LogicalClock,
+    build_logical_clocks,
+    logical_skew,
+)
+from repro.core.params import derive_parameters
+from repro.core.synchronizer import (
+    supports_round_simulation,
+    synchronous_round_overhead,
+    verify_round_separation,
+)
+from repro.sim.errors import ConfigurationError
+
+
+class TestLogicalClock:
+    def test_interpolates_between_pulses(self):
+        clock = LogicalClock((0.0, 2.0, 4.0), nominal_period=1.0)
+        assert clock.value(0.0) == 0.0
+        assert clock.value(1.0) == pytest.approx(0.5)
+        assert clock.value(2.0) == pytest.approx(1.0)
+        assert clock.value(3.0) == pytest.approx(1.5)
+
+    def test_extrapolates_after_last_pulse(self):
+        clock = LogicalClock((0.0, 2.0), nominal_period=1.0)
+        assert clock.value(4.0) == pytest.approx(2.0)
+
+    def test_extrapolates_before_first_pulse(self):
+        clock = LogicalClock((1.0, 3.0), nominal_period=1.0)
+        assert clock.value(0.0) == pytest.approx(-0.5)
+
+    def test_rate_bounds(self):
+        clock = LogicalClock((0.0, 1.0, 3.0), nominal_period=1.0)
+        low, high = clock.rate_bounds()
+        assert low == pytest.approx(0.5)
+        assert high == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogicalClock((0.0,), 1.0)
+        with pytest.raises(ConfigurationError):
+            LogicalClock((0.0, 0.0), 1.0)
+        with pytest.raises(ConfigurationError):
+            LogicalClock((0.0, 1.0), 0.0)
+
+    def test_build_from_pulse_map(self):
+        clocks = build_logical_clocks(
+            {0: [0.0, 1.0], 1: [0.1, 1.1], 2: [5.0]}, 1.0
+        )
+        assert set(clocks) == {0, 1}
+
+    def test_logical_skew_measured(self):
+        clocks = build_logical_clocks(
+            {0: [0.0, 1.0, 2.0], 1: [0.1, 1.1, 2.1]}, 1.0
+        )
+        measured = logical_skew(clocks, 0.1, 2.0, samples=50)
+        assert measured == pytest.approx(0.1, abs=1e-9)
+
+    def test_logical_skew_needs_inputs(self):
+        with pytest.raises(ConfigurationError):
+            logical_skew({}, 0.0, 1.0)
+
+
+class TestSynchronizer:
+    def test_default_parameters_support_round_simulation(self):
+        for theta, u in [(1.001, 0.01), (1.02, 0.1), (1.05, 0.3)]:
+            params = derive_parameters(theta, 1.0, u, 6)
+            assert supports_round_simulation(params)
+
+    def test_round_separation_on_real_cps_run(self):
+        params = derive_parameters(1.001, 1.0, 0.02, 6)
+        simulation = build_cps_simulation(params, seed=11)
+        result = simulation.run(max_pulses=8)
+        schedule = verify_round_separation(
+            result.honest_pulses(), params.d
+        )
+        assert schedule.violations == []
+        assert schedule.rounds == 7
+        assert all(duration >= params.d for duration in schedule.durations())
+
+    def test_round_overhead_close_to_nominal(self):
+        params = derive_parameters(1.001, 1.0, 0.01, 6)
+        simulation = build_cps_simulation(params, seed=11)
+        result = simulation.run(max_pulses=8)
+        overhead = synchronous_round_overhead(
+            result.honest_pulses(), params.d
+        )
+        # Each simulated round costs about T ~ 2.1 d here; the point is
+        # it is a constant near (T/d), independent of n and f.
+        assert overhead == pytest.approx(params.T / params.d, rel=0.05)
+
+    def test_detects_violations(self):
+        pulses = {0: [0.0, 0.5], 1: [0.0, 0.5]}
+        schedule = verify_round_separation(pulses, d=1.0)
+        assert schedule.violations == [0]
+
+    def test_requires_two_pulses(self):
+        with pytest.raises(ConfigurationError):
+            verify_round_separation({0: [1.0]}, d=1.0)
+        with pytest.raises(ConfigurationError):
+            verify_round_separation({}, d=1.0)

@@ -1,0 +1,162 @@
+"""Tests for the executable Theorem 5 construction."""
+
+import pytest
+
+from repro.core.cps import CpsNode
+from repro.core.lower_bound import (
+    FixedPeriodProtocol,
+    LowerBoundEngine,
+    ShiftFunction,
+    run_lower_bound,
+)
+from repro.core.params import derive_parameters
+from repro.sim.errors import ConfigurationError
+
+
+class TestShiftFunction:
+    def test_fast_phase(self):
+        shift = ShiftFunction(theta=1.1, shift=0.5)
+        assert shift(1.0) == pytest.approx(1.1)
+
+    def test_saturated_phase(self):
+        shift = ShiftFunction(theta=1.1, shift=0.5)
+        assert shift(10.0) == pytest.approx(10.5)
+
+    def test_saturation_time(self):
+        shift = ShiftFunction(theta=1.1, shift=0.5)
+        assert shift.saturation_time == pytest.approx(5.0)
+        assert shift(5.0) == pytest.approx(5.5)
+
+    def test_zero_shift_identity(self):
+        shift = ShiftFunction(theta=1.1, shift=0.0)
+        assert shift(3.0) == 3.0
+        assert shift.inverse(3.0) == 3.0
+
+    @pytest.mark.parametrize("x", [0.0, 0.5, 4.9, 5.0, 5.1, 100.0])
+    def test_inverse_roundtrip(self, x):
+        shift = ShiftFunction(theta=1.1, shift=0.5)
+        assert shift.inverse(shift(x)) == pytest.approx(x)
+
+
+class TestEngineValidation:
+    def test_requires_drift(self):
+        with pytest.raises(ConfigurationError):
+            LowerBoundEngine(lambda v: FixedPeriodProtocol(1.0), 1.0, 1.0, 0.5)
+
+    def test_requires_positive_u_tilde(self):
+        with pytest.raises(ConfigurationError):
+            LowerBoundEngine(
+                lambda v: FixedPeriodProtocol(1.0), 1.05, 1.0, 0.0
+            )
+
+    def test_requires_u_tilde_at_most_d(self):
+        with pytest.raises(ConfigurationError):
+            LowerBoundEngine(
+                lambda v: FixedPeriodProtocol(1.0), 1.05, 1.0, 1.5
+            )
+
+    def test_fixed_period_requires_positive_period(self):
+        with pytest.raises(ConfigurationError):
+            FixedPeriodProtocol(0.0)
+
+
+class TestTranslationMaps:
+    def test_next_neighbour_uses_fast_receiver(self):
+        engine = LowerBoundEngine(
+            lambda v: FixedPeriodProtocol(1.0), 1.1, 1.0, 0.3
+        )
+        # T(l) = F(l + d); before saturation F multiplies by theta.
+        assert engine.reception_local_time(0, 1, 0.0) == pytest.approx(1.1)
+
+    def test_prev_neighbour_uses_fast_sender_inverse(self):
+        engine = LowerBoundEngine(
+            lambda v: FixedPeriodProtocol(1.0), 1.1, 1.0, 0.3
+        )
+        # T(l) = F^{-1}(l) + d.
+        assert engine.reception_local_time(0, 2, 1.1) == pytest.approx(2.0)
+
+    def test_reception_always_after_send(self):
+        engine = LowerBoundEngine(
+            lambda v: FixedPeriodProtocol(1.0), 1.05, 1.0, 0.9
+        )
+        for src in range(3):
+            for dst in range(3):
+                if src == dst:
+                    continue
+                for local in (0.0, 1.0, 17.3, 200.0):
+                    assert (
+                        engine.reception_local_time(src, dst, local) > local
+                    )
+
+
+class TestTheorem5:
+    def _check(self, result, u_tilde):
+        saturated = result.saturated_pulse_indices()
+        assert saturated, "run long enough to saturate the fast clocks"
+        index = saturated[-1]
+        assert result.theorem_identity(index) == pytest.approx(
+            2.0 * u_tilde, abs=1e-6
+        )
+        assert result.max_skew_at(index) >= 2.0 * u_tilde / 3.0 - 1e-9
+
+    @pytest.mark.parametrize("u_tilde", [0.15, 0.45, 0.9])
+    def test_fixed_period_protocol(self, u_tilde):
+        saturation = 2 * u_tilde / 3 / 0.02
+        pulses = int(saturation / 1.5) + 5
+        result = run_lower_bound(
+            lambda v: FixedPeriodProtocol(2.0),
+            theta=1.02,
+            d=1.0,
+            u_tilde=u_tilde,
+            max_pulses=pulses,
+        )
+        self._check(result, u_tilde)
+
+    @pytest.mark.parametrize("u_tilde", [0.3, 0.6])
+    def test_cps_cannot_beat_the_bound(self, u_tilde):
+        params = derive_parameters(1.02, 1.0, 0.0, 3, f=1)
+        saturation = 2 * u_tilde / 3 / 0.02
+        pulses = int(saturation / 1.5) + 5
+        result = run_lower_bound(
+            lambda v: CpsNode(params),
+            theta=1.02,
+            d=1.0,
+            u_tilde=u_tilde,
+            max_pulses=pulses,
+        )
+        self._check(result, u_tilde)
+        # The lower bound exceeds CPS's honest-link guarantee: the skew is
+        # governed by u_tilde even though u = 0.
+        index = result.saturated_pulse_indices()[-1]
+        if 2 * u_tilde / 3 > params.S:
+            assert result.max_skew_at(index) > params.S
+
+    def test_well_definedness_check_runs_for_cps(self):
+        """Lemma 18's bookkeeping: every faulty send only uses signatures
+        the adversary received early enough (raises otherwise)."""
+        params = derive_parameters(1.02, 1.0, 0.0, 3, f=1)
+        engine = LowerBoundEngine(
+            lambda v: CpsNode(params), 1.02, 1.0, 0.45
+        )
+        engine.run(max_pulses=8)
+        engine.check_well_defined()  # must not raise
+        assert engine.messages  # CPS actually communicates
+
+    def test_liveness_inside_the_construction(self):
+        params = derive_parameters(1.02, 1.0, 0.0, 3, f=1)
+        result = run_lower_bound(
+            lambda v: CpsNode(params), 1.02, 1.0, 0.3, max_pulses=6
+        )
+        assert result.common_pulse_count() >= 6
+        for k in range(3):
+            for times in result.execution_pulses[k].values():
+                assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_execution_pulses_cover_honest_pairs(self):
+        result = run_lower_bound(
+            lambda v: FixedPeriodProtocol(2.0), 1.02, 1.0, 0.3, max_pulses=4
+        )
+        for k in range(3):
+            assert sorted(result.execution_pulses[k]) == sorted(
+                {(k + 1) % 3, (k + 2) % 3}
+            )

@@ -1,0 +1,269 @@
+"""Integration tests for the timed discrete-event simulator."""
+
+import pytest
+
+from repro.sim.adversary import (
+    ByzantineBehavior,
+    HonestUntilCrash,
+    ScheduledSendAdversary,
+)
+from repro.sim.clocks import HardwareClock
+from repro.sim.errors import (
+    ConfigurationError,
+    ForgeryError,
+    SimulationError,
+)
+from repro.sim.network import MaximumDelayPolicy, NetworkConfig
+from repro.sim.runtime import NodeAPI, TimedProtocol
+from repro.sim.scheduler import Simulation
+from repro.sim.trace import DeliveryRecord, SendRecord
+
+
+class EchoProtocol(TimedProtocol):
+    """Test protocol: pulse at fixed local period; echo received payloads
+    once; record everything."""
+
+    def __init__(self, period: float = 10.0) -> None:
+        self.period = period
+        self.received = []
+        self.signed = []
+
+    def on_start(self, api: NodeAPI) -> None:
+        api.set_timer(self.period, "tick")
+
+    def on_message(self, api: NodeAPI, sender: int, payload) -> None:
+        self.received.append((sender, payload, api.local_time()))
+
+    def on_timer(self, api: NodeAPI, tag) -> None:
+        api.pulse()
+        if len(self.received) == 0:
+            api.broadcast(("hello", api.node_id))
+        api.set_timer(api.local_time() + self.period, "tick")
+
+
+def build(n=3, faulty=(), behavior=None, clocks=None, policy=None, f=None):
+    config = NetworkConfig(n, d=1.0, u=0.2)
+    clocks = clocks or [HardwareClock.constant_rate() for _ in range(n)]
+    return Simulation(
+        config,
+        clocks,
+        protocol_factory=lambda v: EchoProtocol(),
+        faulty=faulty,
+        behavior=behavior,
+        delay_policy=policy or MaximumDelayPolicy(),
+        f=f,
+    )
+
+
+class TestBasicMechanics:
+    def test_requires_stop_condition(self):
+        with pytest.raises(ConfigurationError):
+            build().run()
+
+    def test_clock_count_must_match(self):
+        config = NetworkConfig(3, d=1.0, u=0.2)
+        with pytest.raises(ConfigurationError):
+            Simulation(
+                config,
+                [HardwareClock.constant_rate()],
+                protocol_factory=lambda v: EchoProtocol(),
+            )
+
+    def test_faulty_count_checked_against_f(self):
+        with pytest.raises(ConfigurationError):
+            build(faulty=[0, 1], f=1)
+
+    def test_faulty_ids_in_range(self):
+        with pytest.raises(ConfigurationError):
+            build(faulty=[7])
+
+    def test_pulses_recorded_per_node(self):
+        sim = build()
+        result = sim.run(max_pulses=3)
+        for v in range(3):
+            assert len(result.pulses[v]) >= 3
+            assert result.pulses[v][0] == pytest.approx(10.0)
+
+    def test_max_pulses_stops_promptly(self):
+        result = build().run(max_pulses=2)
+        assert all(len(result.pulses[v]) == 2 for v in range(3))
+
+    def test_until_stops_by_time(self):
+        result = build().run(until=25.0)
+        assert result.end_time <= 25.0 + 1e-9
+        assert all(len(result.pulses[v]) == 2 for v in range(3))
+
+    def test_event_cap_raises(self):
+        with pytest.raises(SimulationError):
+            build().run(max_pulses=1000, max_events=10)
+
+    def test_broadcast_reaches_all_others(self):
+        sim = build()
+        sim.run(max_pulses=2)
+        for v in range(3):
+            protocol = sim.protocol(v)
+            senders = {sender for sender, _, _ in protocol.received}
+            assert senders == {w for w in range(3) if w != v}
+
+    def test_delivery_delay_respected(self):
+        sim = build()
+        result = sim.run(max_pulses=2)
+        sends = {
+            (r.src, r.dst): r.time for r in result.trace.of_type(SendRecord)
+        }
+        for record in result.trace.of_type(DeliveryRecord):
+            assert record.time == pytest.approx(
+                sends[(record.src, record.dst)] + 1.0
+            )
+
+    def test_local_time_follows_clock(self):
+        clocks = [
+            HardwareClock.constant_rate(1.1, theta=1.1),
+            HardwareClock.constant_rate(1.0, theta=1.1),
+            HardwareClock.constant_rate(1.0, theta=1.1),
+        ]
+        sim = build(clocks=clocks)
+        result = sim.run(max_pulses=1)
+        # Fast node pulses first: local 10 reached at t = 10/1.1.
+        assert result.pulses[0][0] == pytest.approx(10.0 / 1.1)
+        assert result.pulses[1][0] == pytest.approx(10.0)
+
+    def test_past_timer_warns_but_fires(self):
+        class PastTimer(TimedProtocol):
+            def on_start(self, api):
+                api.set_timer(5.0, "future")
+
+            def on_message(self, api, sender, payload):
+                pass
+
+            def on_timer(self, api, tag):
+                if tag == "future":
+                    api.set_timer(1.0, "past")  # already passed
+                else:
+                    api.pulse()
+
+        config = NetworkConfig(1, d=1.0, u=0.0)
+        sim = Simulation(
+            config,
+            [HardwareClock.constant_rate()],
+            protocol_factory=lambda v: PastTimer(),
+        )
+        result = sim.run(max_pulses=1)
+        assert len(result.pulses[0]) == 1
+        assert any("past" in w for w in result.warnings)
+
+
+class TestAdversaryContext:
+    def test_scheduled_sends_are_delivered(self):
+        payload_fn = lambda ctx: ("fake", 2)
+        behavior = ScheduledSendAdversary({3.0: [(2, 0, payload_fn, 1.0)]})
+        sim = build(faulty=[2], behavior=behavior)
+        sim.run(max_pulses=2)
+        received = sim.protocol(0).received
+        assert (2, ("fake", 2), 4.0) in received
+
+    def test_adversary_cannot_send_from_honest(self):
+        class BadBehavior(ByzantineBehavior):
+            def on_start(self, ctx):
+                ctx.send_from(0, 1, "spoof")
+
+        with pytest.raises(SimulationError):
+            build(faulty=[2], behavior=BadBehavior()).run(max_pulses=1)
+
+    def test_adversary_cannot_sign_for_honest(self):
+        class BadSigner(ByzantineBehavior):
+            def on_start(self, ctx):
+                ctx.sign_as(0, "m")
+
+        with pytest.raises(SimulationError):
+            build(faulty=[2], behavior=BadSigner()).run(max_pulses=1)
+
+    def test_forgery_is_blocked(self):
+        class Forger(ByzantineBehavior):
+            def on_start(self, ctx):
+                ctx.wake_at(0.5, "go")
+
+            def on_wakeup(self, ctx, tag):
+                # Node 0's signature was never delivered to a faulty node.
+                from repro.crypto.pki import PublicKeyInfrastructure
+
+                other = PublicKeyInfrastructure(3)
+                ctx.send_from(2, 0, other.key_pair(0).sign("m"))
+
+        with pytest.raises(ForgeryError):
+            build(faulty=[2], behavior=Forger()).run(max_pulses=2)
+
+    def test_replaying_learned_signature_is_allowed(self):
+        sent = []
+
+        class Replayer(ByzantineBehavior):
+            def on_deliver(self, ctx, record):
+                if not sent:
+                    sent.append(record.payload)
+                    ctx.send_from(2, 0, record.payload)
+
+        class Signer(EchoProtocol):
+            def on_timer(self, api, tag):
+                api.pulse()
+                api.broadcast(api.sign(("v", api.node_id)))
+                api.set_timer(api.local_time() + self.period, "tick")
+
+        config = NetworkConfig(3, d=1.0, u=0.2)
+        sim = Simulation(
+            config,
+            [HardwareClock.constant_rate() for _ in range(3)],
+            protocol_factory=lambda v: Signer(),
+            faulty=[2],
+            behavior=Replayer(),
+        )
+        sim.run(max_pulses=3)
+        assert sent  # the replay happened without ForgeryError
+
+    def test_adversary_observes_pulses(self):
+        seen = []
+
+        class Observer(ByzantineBehavior):
+            def on_pulse(self, ctx, node, index, time):
+                seen.append((node, index, time))
+
+        build(faulty=[2], behavior=Observer()).run(max_pulses=2)
+        assert (0, 1, 10.0) in seen
+
+    def test_wakeup_in_past_rejected(self):
+        class TimeTraveller(ByzantineBehavior):
+            def on_pulse(self, ctx, node, index, time):
+                ctx.wake_at(time - 5.0, "nope")
+
+        with pytest.raises(SimulationError):
+            build(faulty=[2], behavior=TimeTraveller()).run(max_pulses=2)
+
+    def test_explicit_delay_validated(self):
+        class TooFast(ByzantineBehavior):
+            def on_start(self, ctx):
+                ctx.send_from(2, 0, "m", delay=0.1)
+
+        from repro.sim.errors import ModelViolation
+
+        with pytest.raises(ModelViolation):
+            build(faulty=[2], behavior=TooFast()).run(max_pulses=1)
+
+
+class TestHonestUntilCrash:
+    def test_hosted_protocol_behaves_honestly(self):
+        behavior = HonestUntilCrash(lambda v: EchoProtocol())
+        sim = build(faulty=[2], behavior=behavior)
+        sim.run(max_pulses=2)
+        # Honest node 0 heard from the hosted faulty node 2.
+        senders = {s for s, _, _ in sim.protocol(0).received}
+        assert 2 in senders
+        assert behavior.hosted_pulses[2]
+
+    def test_crash_silences_node(self):
+        behavior = HonestUntilCrash(
+            lambda v: EchoProtocol(), default_crash_time=5.0
+        )
+        sim = build(faulty=[2], behavior=behavior)
+        sim.run(max_pulses=3)
+        senders = {s for s, _, _ in sim.protocol(0).received}
+        # First broadcast would happen at t=10 > crash time 5.
+        assert 2 not in senders
