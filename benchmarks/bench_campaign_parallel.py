@@ -1,0 +1,62 @@
+"""Benchmark: the E4 campaign through the serial vs process-pool executor.
+
+Times the identical declarative grid both ways, asserts the aggregated
+tables match (determinism under parallelism), and records the measured
+speedup in the benchmark's ``extra_info``.  On a single-core runner the
+pool mostly pays fork overhead — the point of the benchmark is to track
+that the parallel path stays correct and to measure the speedup
+wherever cores are available.
+"""
+
+import os
+import time
+
+from conftest import SCALE
+
+from repro.campaigns import (
+    ExecutionPolicy,
+    campaign_definition,
+    execute_campaign,
+)
+
+
+def test_campaign_parallel_e04(benchmark, capsys):
+    definition = campaign_definition("E4")
+    spec = definition.spec()
+
+    start = time.perf_counter()
+    serial_run = execute_campaign(spec, scale=SCALE)
+    serial_seconds = time.perf_counter() - start
+
+    workers = max(2, min(4, os.cpu_count() or 1))
+    policy = ExecutionPolicy(workers=workers, chunk_size=1)
+    parallel_seconds = []
+
+    def run_parallel():
+        start = time.perf_counter()
+        run = execute_campaign(spec, scale=SCALE, policy=policy)
+        parallel_seconds.append(time.perf_counter() - start)
+        return run
+
+    parallel_run = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+
+    serial_table = definition.tabulate(serial_run)
+    parallel_table = definition.tabulate(parallel_run)
+    assert serial_table.render() == parallel_table.render()
+    assert parallel_run.failed == 0
+
+    speedup = serial_seconds / parallel_seconds[-1]
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["parallel_seconds"] = round(
+        parallel_seconds[-1], 3
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    with capsys.disabled():
+        print()
+        print(
+            f"E4 [{SCALE}] serial {serial_seconds:.2f}s vs "
+            f"{workers}-worker pool {parallel_seconds[-1]:.2f}s "
+            f"— speedup {speedup:.2f}x"
+        )
+        print(serial_table.render())

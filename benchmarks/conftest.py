@@ -7,6 +7,21 @@ see DESIGN.md section 5 and EXPERIMENTS.md).  Run with::
     pytest benchmarks/ --benchmark-only
 
 Set ``REPRO_BENCH_SCALE=full`` for the wide sweeps.
+
+``REPRO_BENCH_SCALE`` and campaign grids
+----------------------------------------
+
+The experiments ported to the campaign engine (E1/E4/E5/E6) declare
+their grids per scale in a ``CampaignSpec`` (see
+``repro.campaigns.spec``): the env var's value is passed straight
+through as the ``scale`` argument, so ``quick``/``full`` select the
+corresponding axes/case tiers and measurement settings
+(``ScenarioSpec.grid_for(scale)`` / ``CampaignSpec.measurement_for``);
+any other value falls back to the ``full`` tier unless a spec defines
+that tier explicitly — e.g. adding ``axes["stress"]`` to a scenario is
+all it takes to make ``REPRO_BENCH_SCALE=stress`` meaningful.
+``bench_campaign_parallel.py`` additionally runs one campaign through
+the serial and process-pool executors and records the speedup.
 """
 
 import os

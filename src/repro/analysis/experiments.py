@@ -13,29 +13,29 @@ covers wider sweeps.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict
 
-from repro.analysis import metrics, theory
-from repro.analysis.reporting import Table, ratio
+from repro.analysis import theory
+from repro.analysis import metrics
+from repro.analysis.reporting import Table
 from repro.analysis.runner import run_pulse_trial
-from repro.baselines.chain_relay import (
-    ChainStretchAttack,
-    build_chain_simulation,
-    derive_chain_parameters,
+from repro.baselines.lynch_welch import lw_max_faults
+from repro.campaigns import (
+    CampaignDefinition,
+    CampaignRun,
+    CampaignSpec,
+    MeasurementSpec,
+    ScenarioSpec,
+    execute_campaign,
+    register_campaign,
 )
-from repro.baselines.lynch_welch import (
-    LwTimingAttack,
-    build_lw_simulation,
-    derive_lw_parameters,
-    lw_max_faults,
-)
-from repro.baselines.srikanth_toueg import (
-    StRushAttack,
-    build_st_simulation,
-    derive_st_parameters,
+from repro.campaigns.builders import (
+    APA_ADVERSARIES,
+    CPS_ADVERSARIES,
+    E6_ALGORITHMS,
+    cps_group_a as _cps_group_a,
 )
 from repro.core.attacks import (
-    CpsEquivocatingSubsetAttack,
     CpsMimicDealerAttack,
     CpsRushingEchoAttack,
     FastToFaultyDelayPolicy,
@@ -46,13 +46,7 @@ from repro.core.params import derive_parameters, max_faults
 from repro.core.cps import CpsNode
 from repro.sim.adversary import SilentAdversary
 from repro.sim.clocks import HardwareClock
-from repro.sim.network import RandomDelayPolicy, SkewingDelayPolicy
-from repro.sync.approx_agreement import (
-    ApaEquivocatingAdversary,
-    ApaExtremeAdversary,
-    ApaSplitAdversary,
-    run_apa,
-)
+from repro.sim.network import RandomDelayPolicy
 from repro.sync.crusader import (
     BOT,
     CbEquivocatingDealer,
@@ -66,21 +60,36 @@ from repro.sync.round_model import SynchronousNetwork
 TYPICAL = {"theta": 1.001, "d": 1.0, "u": 0.01}
 
 
-def _cps_group_a(n: int) -> List[int]:
-    return [v for v in range(n) if v % 2 == 0]
-
-
 # ======================================================================
 # E1 — Theorem 9 / Corollary 2: APA convergence
 # ======================================================================
 
 
-def e1_apa_convergence(scale: str = "quick") -> Table:
-    """Honest range halves per APA iteration, for every adversary."""
-    sizes = [5, 9] if scale == "quick" else [5, 9, 16, 25]
-    initial_range = 64.0
-    target = 1.0
-    iterations = math.ceil(math.log2(initial_range / target))
+def e1_campaign() -> CampaignSpec:
+    """The E1 grid as a declarative campaign."""
+    adversaries = tuple(APA_ADVERSARIES)
+    return CampaignSpec(
+        name="E1",
+        description="APA convergence (Theorem 9, Corollary 2)",
+        scenarios=(
+            ScenarioSpec(
+                builder="apa-convergence",
+                base={"initial_range": 64.0, "target": 1.0},
+                axes={
+                    "quick": {"n": (5, 9), "adversary": adversaries},
+                    "full": {
+                        "n": (5, 9, 16, 25),
+                        "adversary": adversaries,
+                    },
+                },
+            ),
+        ),
+        measurements={"*": MeasurementSpec(pulses=0, warmup=0)},
+    )
+
+
+def e1_table(run: CampaignRun) -> Table:
+    """Assemble the E1 table from campaign trial records."""
     table = Table(
         "E1 — APA convergence (Theorem 9, Corollary 2)",
         [
@@ -96,50 +105,31 @@ def e1_apa_convergence(scale: str = "quick") -> Table:
             "validity ok",
         ],
     )
-    for n in sizes:
-        f = max_faults(n)
-        faulty = list(range(n - f, n))
-        adversaries = {
-            "extreme-values": ApaExtremeAdversary(-1000.0, 1000.0),
-            "split-bot": ApaSplitAdversary(-1000.0, 1000.0),
-            "equivocating": ApaEquivocatingAdversary(-1000.0, 1000.0),
-        }
-        honest = [v for v in range(n) if v not in faulty]
-        inputs = {
-            v: initial_range * index / max(len(honest) - 1, 1)
-            for index, v in enumerate(honest)
-        }
-        low, high = min(inputs.values()), max(inputs.values())
-        for name, adversary in adversaries.items():
-            outcome = run_apa(
-                inputs, n, f, faulty, adversary, iterations=iterations
-            )
-            ranges = outcome.ranges()
-            halved = all(
-                ranges[i + 1] <= ranges[i] / 2.0 + 1e-9
-                for i in range(len(ranges) - 1)
-            )
-            validity = all(
-                low - 1e-9 <= value <= high + 1e-9
-                for value in outcome.outputs.values()
-            )
-            table.add_row(
-                n,
-                f,
-                name,
-                iterations,
-                2 * iterations,
-                ranges[0],
-                ranges[-1],
-                theory.apa_halving_bound(ranges[0], iterations),
-                halved,
-                validity,
-            )
+    nan = float("nan")
+    for record in run.records:
+        m = record.metrics
+        table.add_row(
+            record.case["n"],
+            m.get("f", max_faults(record.case["n"])),
+            record.case["adversary"],
+            m.get("iterations", 0),
+            m.get("rounds", 0),
+            m.get("initial_range", nan),
+            m.get("final_range", nan),
+            m.get("halving_bound", nan),
+            m.get("halved", False),
+            m.get("validity", False),
+        )
     table.add_note(
         "Corollary 2: 2*ceil(log2(l/eps)) rounds reach eps at resilience "
         "ceil(n/2)-1."
     )
     return table
+
+
+def e1_apa_convergence(scale: str = "quick") -> Table:
+    """Honest range halves per APA iteration, for every adversary."""
+    return e1_table(execute_campaign(e1_campaign(), scale=scale))
 
 
 # ======================================================================
@@ -326,28 +316,46 @@ def e3_tcb_accuracy(scale: str = "quick") -> Table:
 
 
 def _cps_adversaries(params) -> Dict[str, Callable[[], object]]:
+    """Adversary factories bound to ``params`` (used by E9)."""
     return {
-        "silent": lambda: SilentAdversary(),
-        "mimic-split": lambda: CpsMimicDealerAttack(
-            params, _cps_group_a(params.n)
-        ),
-        "equivocating-subset": lambda: CpsEquivocatingSubsetAttack(params),
+        name: (lambda make=make: make(params))
+        for name, make in CPS_ADVERSARIES.items()
     }
 
 
-def e4_cps_skew(scale: str = "quick") -> Table:
-    """Measured worst-case skew against the proven bound S."""
-    if scale == "quick":
-        systems = [(6, 0.01, 1.001), (9, 0.05, 1.002)]
-        pulses = 15
-    else:
-        systems = [
-            (6, 0.01, 1.001),
-            (9, 0.05, 1.002),
-            (12, 0.01, 1.0005),
-            (16, 0.1, 1.005),
-        ]
-        pulses = 30
+def e4_campaign() -> CampaignSpec:
+    """The E4 grid: (n, u, theta) systems crossed with the attack suite."""
+    return CampaignSpec(
+        name="E4",
+        description="CPS skew vs bound (Theorem 17 / Corollary 4)",
+        scenarios=(
+            ScenarioSpec(
+                builder="cps-skew",
+                base={"d": 1.0, "seed": 3, "clock_style": "extreme"},
+                axes={"*": {"adversary": tuple(CPS_ADVERSARIES)}},
+                cases={
+                    "quick": (
+                        {"n": 6, "u": 0.01, "theta": 1.001},
+                        {"n": 9, "u": 0.05, "theta": 1.002},
+                    ),
+                    "full": (
+                        {"n": 6, "u": 0.01, "theta": 1.001},
+                        {"n": 9, "u": 0.05, "theta": 1.002},
+                        {"n": 12, "u": 0.01, "theta": 1.0005},
+                        {"n": 16, "u": 0.1, "theta": 1.005},
+                    ),
+                },
+            ),
+        ),
+        measurements={
+            "quick": MeasurementSpec(pulses=15, warmup=5),
+            "full": MeasurementSpec(pulses=30, warmup=5),
+        },
+    )
+
+
+def e4_table(run: CampaignRun) -> Table:
+    """Assemble the E4 table from campaign trial records."""
     table = Table(
         "E4 — CPS skew vs bound (Theorem 17 / Corollary 4)",
         [
@@ -363,38 +371,21 @@ def e4_cps_skew(scale: str = "quick") -> Table:
             "live",
         ],
     )
-    for n, u, theta in systems:
-        params = derive_parameters(theta, 1.0, u, n)
-        faulty = list(range(n - params.f, n))
-        for name, make in _cps_adversaries(params).items():
-            simulation = build_cps_simulation(
-                params,
-                faulty=faulty,
-                behavior=make(),
-                delay_policy=SkewingDelayPolicy(_cps_group_a(n)),
-                seed=3,
-                clock_style="extreme",
-            )
-            outcome = run_pulse_trial(simulation, pulses, warmup=5)
-            if outcome.report is None:
-                table.add_row(
-                    n, params.f, u, theta, name,
-                    float("nan"), float("nan"), params.S, False, False,
-                )
-                continue
-            measured = outcome.report.max_skew
-            table.add_row(
-                n,
-                params.f,
-                u,
-                theta,
-                name,
-                measured,
-                outcome.report.steady_skew,
-                params.S,
-                measured <= params.S + 1e-9,
-                outcome.live,
-            )
+    for record in run.records:
+        case = record.case
+        m = record.metrics
+        table.add_row(
+            case["n"],
+            m.get("f", max_faults(case["n"])),
+            case["u"],
+            case["theta"],
+            case["adversary"],
+            m.get("max_skew", float("nan")),
+            m.get("steady_skew", float("nan")),
+            m.get("bound_S", float("nan")),
+            m.get("within", False),
+            m.get("live", False),
+        )
     table.add_note(
         "f = ceil(n/2)-1 everywhere — beyond the ceil(n/3)-1 barrier of "
         "the signature-free setting."
@@ -402,16 +393,51 @@ def e4_cps_skew(scale: str = "quick") -> Table:
     return table
 
 
+def e4_cps_skew(scale: str = "quick") -> Table:
+    """Measured worst-case skew against the proven bound S."""
+    return e4_table(execute_campaign(e4_campaign(), scale=scale))
+
+
 # ======================================================================
 # E5 — resilience range: CPS vs Lynch-Welch across f
 # ======================================================================
 
 
-def e5_resilience(scale: str = "quick") -> Table:
-    """Same timing attack against CPS and LW for f = 0..ceil(n/2)-1."""
-    n = 9
-    pulses = 30 if scale == "quick" else 60
-    theta, d, u = 1.001, 1.0, 0.02
+_E5_N = 9
+
+
+def e5_campaign() -> CampaignSpec:
+    """The E5 grid: fault count crossed with {CPS, Lynch-Welch}."""
+    return CampaignSpec(
+        name="E5",
+        description="Resilience range (CPS vs Lynch-Welch)",
+        scenarios=(
+            ScenarioSpec(
+                builder="cps-vs-lw-resilience",
+                base={
+                    "n": _E5_N,
+                    "theta": 1.001,
+                    "d": 1.0,
+                    "u": 0.02,
+                    "seed": 5,
+                },
+                axes={
+                    "*": {
+                        "f": tuple(range(max_faults(_E5_N) + 1)),
+                        "algorithm": ("CPS", "Lynch-Welch"),
+                    }
+                },
+            ),
+        ),
+        measurements={
+            "quick": MeasurementSpec(pulses=30, warmup=8),
+            "full": MeasurementSpec(pulses=60, warmup=8),
+        },
+    )
+
+
+def e5_table(run: CampaignRun) -> Table:
+    """Assemble the E5 table from campaign trial records."""
     table = Table(
         "E5 — Resilience range (CPS vs Lynch-Welch)",
         [
@@ -424,78 +450,18 @@ def e5_resilience(scale: str = "quick") -> Table:
             "steady within",
         ],
     )
-
-    def extreme_clocks(params):
-        return [
-            HardwareClock.constant_rate(
-                1.0 if v % 2 == 0 else theta,
-                offset=0.0 if v % 2 == 0 else params.S,
-                theta=theta,
-            )
-            for v in range(n)
-        ]
-
-    for f in range(max_faults(n) + 1):
-        faulty = list(range(n - f, n)) if f else []
-        # --- CPS ---
-        cps_params = derive_parameters(theta, d, u, n, f=max_faults(n))
-        behavior = (
-            CpsMimicDealerAttack(cps_params, _cps_group_a(n)) if f else None
-        )
-        simulation = build_cps_simulation(
-            cps_params,
-            clocks=extreme_clocks(cps_params),
-            faulty=faulty,
-            behavior=behavior,
-            delay_policy=SkewingDelayPolicy(_cps_group_a(n)),
-            seed=5,
-        )
-        outcome = run_pulse_trial(simulation, pulses, warmup=8)
-        measured = (
-            outcome.report.max_skew if outcome.report else float("inf")
-        )
-        steady = (
-            outcome.report.steady_skew if outcome.report else float("inf")
-        )
+    n = _E5_N
+    for record in run.records:
+        m = record.metrics
+        n = record.case["n"]
         table.add_row(
-            f,
-            "CPS",
-            f <= max_faults(n),
-            measured,
-            steady,
-            cps_params.S,
-            steady <= cps_params.S + 1e-9,
-        )
-        # --- Lynch-Welch (protocol told the true f so it can discard) ---
-        lw_params = derive_lw_parameters(theta, d, u, n, f=max(f, 1))
-        lw_behavior = (
-            LwTimingAttack(lw_params, _cps_group_a(n)) if f else None
-        )
-        lw_simulation = build_lw_simulation(
-            lw_params,
-            clocks=extreme_clocks(lw_params),
-            faulty=faulty,
-            behavior=lw_behavior,
-            delay_policy=SkewingDelayPolicy(_cps_group_a(n)),
-            seed=5,
-        )
-        lw_outcome = run_pulse_trial(lw_simulation, pulses, warmup=8)
-        lw_measured = (
-            lw_outcome.report.max_skew if lw_outcome.report else float("inf")
-        )
-        lw_steady = (
-            lw_outcome.report.steady_skew
-            if lw_outcome.report
-            else float("inf")
-        )
-        table.add_row(
-            f,
-            "Lynch-Welch",
-            f <= lw_max_faults(n),
-            lw_measured,
-            lw_steady,
-            lw_params.S,
-            lw_steady <= lw_params.S + 1e-9,
+            record.case["f"],
+            record.case["algorithm"],
+            m.get("tolerated", False),
+            m.get("max_skew", float("inf")),
+            m.get("steady_skew", float("inf")),
+            m.get("bound", float("nan")),
+            m.get("steady_within", False),
         )
     table.add_note(
         f"n={n}: LW tolerates f <= {lw_max_faults(n)}; CPS tolerates "
@@ -506,16 +472,43 @@ def e5_resilience(scale: str = "quick") -> Table:
     return table
 
 
+def e5_resilience(scale: str = "quick") -> Table:
+    """Same timing attack against CPS and LW for f = 0..ceil(n/2)-1."""
+    return e5_table(execute_campaign(e5_campaign(), scale=scale))
+
+
 # ======================================================================
 # E6 — introduction comparison table: all four algorithms
 # ======================================================================
 
 
-def e6_baselines(scale: str = "quick") -> Table:
-    """Skew of CPS vs the three baselines in the typical regime."""
-    sizes = [5, 9] if scale == "quick" else [5, 9, 13, 17]
-    pulses = 10 if scale == "quick" else 20
-    theta, d, u = TYPICAL["theta"], TYPICAL["d"], TYPICAL["u"]
+def e6_campaign() -> CampaignSpec:
+    """The E6 grid: system size crossed with all four algorithms."""
+    return CampaignSpec(
+        name="E6",
+        description="Algorithm comparison (introduction / related work)",
+        scenarios=(
+            ScenarioSpec(
+                builder="algorithm-comparison",
+                base={**TYPICAL, "seed": 1},
+                axes={
+                    "quick": {"n": (5, 9), "algorithm": E6_ALGORITHMS},
+                    "full": {
+                        "n": (5, 9, 13, 17),
+                        "algorithm": E6_ALGORITHMS,
+                    },
+                },
+            ),
+        ),
+        measurements={
+            "quick": MeasurementSpec(pulses=10, warmup=3),
+            "full": MeasurementSpec(pulses=20, warmup=3),
+        },
+    )
+
+
+def e6_table(run: CampaignRun) -> Table:
+    """Assemble the E6 table from campaign trial records."""
     table = Table(
         "E6 — Algorithm comparison (introduction / related work)",
         [
@@ -527,104 +520,26 @@ def e6_baselines(scale: str = "quick") -> Table:
             "skew / d",
         ],
     )
-    for n in sizes:
-        f = max_faults(n)
-        faulty = list(range(n - f, n))
-        # CPS
-        params = derive_parameters(theta, d, u, n)
-        outcome = run_pulse_trial(
-            build_cps_simulation(
-                params,
-                faulty=faulty,
-                behavior=CpsMimicDealerAttack(params, _cps_group_a(n)),
-                delay_policy=SkewingDelayPolicy(_cps_group_a(n)),
-                seed=1,
-                clock_style="extreme",
-            ),
-            pulses,
-            warmup=3,
-        )
-        measured = (
-            outcome.report.steady_skew if outcome.report else float("inf")
-        )
-        table.add_row("CPS (this paper)", n, f, params.S, measured,
-                      measured / d)
-        # Lynch-Welch at its own maximum resilience
-        lw_f = lw_max_faults(n)
-        lw_params = derive_lw_parameters(theta, d, u, n, f=lw_f)
-        lw_faulty = list(range(n - lw_f, n)) if lw_f else []
-        lw_outcome = run_pulse_trial(
-            build_lw_simulation(
-                lw_params,
-                faulty=lw_faulty,
-                behavior=(
-                    LwTimingAttack(lw_params, _cps_group_a(n))
-                    if lw_f
-                    else None
-                ),
-                delay_policy=SkewingDelayPolicy(_cps_group_a(n)),
-                seed=1,
-            ),
-            pulses,
-            warmup=3,
-        )
-        lw_measured = (
-            lw_outcome.report.steady_skew
-            if lw_outcome.report
-            else float("inf")
-        )
+    for record in run.records:
+        m = record.metrics
         table.add_row(
-            "Lynch-Welch [25]", n, lw_f, lw_params.S, lw_measured,
-            lw_measured / d,
-        )
-        # Signed-relay (Srikanth-Toueg style)
-        st_params = derive_st_parameters(theta, d, u, n)
-        st_outcome = run_pulse_trial(
-            build_st_simulation(
-                st_params,
-                faulty=faulty,
-                behavior=StRushAttack(st_params),
-                seed=1,
-            ),
-            pulses,
-            warmup=3,
-        )
-        st_measured = (
-            st_outcome.report.steady_skew
-            if st_outcome.report
-            else float("inf")
-        )
-        table.add_row(
-            "Signed relay [28]/[21]", n, f, theory.st_skew_bound(st_params),
-            st_measured, st_measured / d,
-        )
-        # Chain relay (consensus-style)
-        chain_params = derive_chain_parameters(theta, d, u, n)
-        chain_outcome = run_pulse_trial(
-            build_chain_simulation(
-                chain_params,
-                faulty=faulty,
-                behavior=ChainStretchAttack(chain_params),
-                seed=1,
-            ),
-            pulses,
-            warmup=3,
-        )
-        chain_measured = (
-            chain_outcome.report.steady_skew
-            if chain_outcome.report
-            else float("inf")
-        )
-        table.add_row(
-            "Chain relay [2]-style", n, f,
-            theory.chain_skew_bound(chain_params), chain_measured,
-            chain_measured / d,
+            record.case["algorithm"],
+            record.case["n"],
+            m.get("f", max_faults(record.case["n"])),
+            m.get("theory_skew", float("nan")),
+            m.get("steady_skew", float("inf")),
+            m.get("skew_over_d", float("inf")),
         )
     table.add_note(
         "Typical regime u << d, theta-1 << 1: CPS and LW sit near "
         "u + (theta-1)d, signed relays near d, chain relays grow with f."
     )
     return table
+
+
+def e6_baselines(scale: str = "quick") -> Table:
+    """Skew of CPS vs the three baselines in the typical regime."""
+    return e6_table(execute_campaign(e6_campaign(), scale=scale))
 
 
 # ======================================================================
@@ -1073,3 +988,25 @@ def run_experiment(name: str, scale: str = "quick") -> Table:
             f"{sorted(EXPERIMENTS)}"
         ) from None
     return function(scale=scale)
+
+
+# E1/E4/E5/E6 are ported to the campaign engine: their grids are
+# declarative specs, so ``repro campaign run E4 --workers 8`` executes
+# the same trials in parallel (with optional result-store caching) and
+# renders the identical table.
+CAMPAIGN_PORTS = tuple(
+    register_campaign(
+        CampaignDefinition(
+            name=spec_factory().name,
+            spec=spec_factory,
+            tabulate=table_factory,
+            description=spec_factory().description,
+        )
+    )
+    for spec_factory, table_factory in (
+        (e1_campaign, e1_table),
+        (e4_campaign, e4_table),
+        (e5_campaign, e5_table),
+        (e6_campaign, e6_table),
+    )
+)

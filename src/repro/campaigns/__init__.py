@@ -1,0 +1,136 @@
+"""Campaign engine: declarative sweeps, parallel execution, cached results.
+
+The subsystem splits a sweep into four orthogonal layers:
+
+``spec``
+    :class:`ScenarioSpec`/:class:`CampaignSpec` — data-driven grids with
+    per-scale tiers, deterministic per-case seeds, content hashes.
+``executor``
+    :func:`execute_campaign` — serial or process-pool execution with
+    chunking, per-trial timeouts, and failure tabulation.
+``store``
+    :class:`ResultStore` — content-addressed JSONL records enabling
+    cache replay and resume of partially-run campaigns.
+``aggregate``
+    group-by/statistics helpers reducing trial records into
+    :class:`~repro.analysis.reporting.Table` rows.
+
+Named campaigns (the ported experiments E1/E4/E5/E6) register here via
+:func:`register_campaign`; ``repro campaign run E4 --workers 8`` then
+executes the same grid that ``repro run E4`` renders, across all cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.analysis.reporting import Table
+from repro.campaigns.aggregate import (
+    failure_counts,
+    group_by,
+    records_to_table,
+    run_summary_table,
+    summary_stats,
+    value_of,
+)
+from repro.campaigns.builders import (
+    BUILDERS,
+    TrialFailure,
+    register_builder,
+    resolve_builder,
+)
+from repro.campaigns.executor import (
+    CampaignRun,
+    ExecutionPolicy,
+    TrialRecord,
+    execute_campaign,
+    map_trials,
+    run_trial,
+)
+from repro.campaigns.spec import (
+    CampaignSpec,
+    MeasurementSpec,
+    ScenarioSpec,
+    TrialPlan,
+    canonical_json,
+    derive_seed,
+    scales_of,
+    stable_hash,
+)
+from repro.campaigns.store import ResultStore
+
+
+@dataclass(frozen=True)
+class CampaignDefinition:
+    """A named campaign: a spec factory plus its table assembler."""
+
+    name: str
+    spec: Callable[[], CampaignSpec]
+    tabulate: Callable[[CampaignRun], Table]
+    description: str = ""
+
+
+CATALOG: Dict[str, CampaignDefinition] = {}
+
+
+def register_campaign(definition: CampaignDefinition) -> CampaignDefinition:
+    """Add a named campaign to the catalog (last registration wins)."""
+    CATALOG[definition.name.upper()] = definition
+    return definition
+
+
+def _ensure_builtin_campaigns() -> None:
+    # The experiment ports live in analysis.experiments (which imports
+    # this package); import lazily so `repro.campaigns` works standalone.
+    import repro.analysis.experiments  # noqa: F401
+
+
+def available_campaigns() -> List[str]:
+    _ensure_builtin_campaigns()
+    return sorted(CATALOG)
+
+
+def campaign_definition(name: str) -> CampaignDefinition:
+    _ensure_builtin_campaigns()
+    try:
+        return CATALOG[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r}; choose from "
+            f"{sorted(CATALOG)}"
+        ) from None
+
+
+__all__ = [
+    "BUILDERS",
+    "CATALOG",
+    "CampaignDefinition",
+    "CampaignRun",
+    "CampaignSpec",
+    "ExecutionPolicy",
+    "MeasurementSpec",
+    "ResultStore",
+    "ScenarioSpec",
+    "TrialFailure",
+    "TrialPlan",
+    "TrialRecord",
+    "available_campaigns",
+    "campaign_definition",
+    "canonical_json",
+    "derive_seed",
+    "execute_campaign",
+    "failure_counts",
+    "group_by",
+    "map_trials",
+    "records_to_table",
+    "register_builder",
+    "register_campaign",
+    "resolve_builder",
+    "run_summary_table",
+    "run_trial",
+    "scales_of",
+    "stable_hash",
+    "summary_stats",
+    "value_of",
+]

@@ -1,0 +1,371 @@
+"""Trial builders: named functions that run one campaign case.
+
+A builder takes ``(case, measurement, seed)`` and returns a flat dict of
+JSON-serializable metrics; the executor wraps it in failure tabulation
+(any exception becomes an ``error`` record, mirroring ``TrialOutcome``
+semantics) so sweeps never die on a protocol-level error.
+
+Builders are referenced *by name* in specs so that trial plans stay
+plain data.  The campaign executor resolves the name in the parent
+process and ships the function to pool workers by pickle reference, so
+any *module-level* builder works with ``workers > 1`` regardless of the
+multiprocessing start method.  Register your own with
+:func:`register_builder`, or pass a fully-qualified
+``"package.module:function"`` name, which is imported on demand.
+
+The built-in builders carry the measurement logic of experiments E1
+(APA convergence), E4 (CPS skew), E5 (resilience range), and E6
+(baseline comparison); ``analysis/experiments.py`` declares the grids
+and assembles the tables.
+"""
+
+from __future__ import annotations
+
+import importlib
+import math
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.analysis import theory
+from repro.analysis.runner import TrialOutcome, run_pulse_trial
+from repro.baselines.chain_relay import (
+    ChainStretchAttack,
+    build_chain_simulation,
+    derive_chain_parameters,
+)
+from repro.baselines.lynch_welch import (
+    LwTimingAttack,
+    build_lw_simulation,
+    derive_lw_parameters,
+    lw_max_faults,
+)
+from repro.baselines.srikanth_toueg import (
+    StRushAttack,
+    build_st_simulation,
+    derive_st_parameters,
+)
+from repro.campaigns.spec import MeasurementSpec
+from repro.core.attacks import (
+    CpsEquivocatingSubsetAttack,
+    CpsMimicDealerAttack,
+)
+from repro.core.cps import build_cps_simulation
+from repro.core.params import derive_parameters, max_faults
+from repro.sim.adversary import SilentAdversary
+from repro.sim.clocks import HardwareClock
+from repro.sim.network import SkewingDelayPolicy
+from repro.sync.approx_agreement import (
+    ApaEquivocatingAdversary,
+    ApaExtremeAdversary,
+    ApaSplitAdversary,
+    run_apa,
+)
+
+TrialBuilder = Callable[[Dict[str, Any], MeasurementSpec, int], Dict[str, Any]]
+
+BUILDERS: Dict[str, TrialBuilder] = {}
+
+
+class TrialFailure(RuntimeError):
+    """Raised by builders for per-trial failures the executor tabulates."""
+
+
+def register_builder(name: str) -> Callable[[TrialBuilder], TrialBuilder]:
+    """Decorator registering a builder under ``name``."""
+
+    def decorate(function: TrialBuilder) -> TrialBuilder:
+        BUILDERS[name] = function
+        return function
+
+    return decorate
+
+
+def resolve_builder(name: str) -> TrialBuilder:
+    """Look up a registered builder, or import a ``module:function`` one."""
+    if name in BUILDERS:
+        return BUILDERS[name]
+    if ":" in name:
+        module_name, _, attribute = name.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, attribute)
+    raise KeyError(
+        f"unknown builder {name!r}; registered: {sorted(BUILDERS)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared scenario plumbing
+# ----------------------------------------------------------------------
+
+
+def cps_group_a(n: int) -> List[int]:
+    """The even-id half used as "group A" by the timing-split attacks."""
+    return [v for v in range(n) if v % 2 == 0]
+
+
+#: Adversary factories for CPS sweeps, keyed by the names used in the
+#: E4/E9 tables.  Each takes the derived protocol parameters.
+CPS_ADVERSARIES: Dict[str, Callable[[Any], Any]] = {
+    "silent": lambda params: SilentAdversary(),
+    "mimic-split": lambda params: CpsMimicDealerAttack(
+        params, cps_group_a(params.n)
+    ),
+    "equivocating-subset": lambda params: CpsEquivocatingSubsetAttack(
+        params
+    ),
+}
+
+APA_ADVERSARIES: Dict[str, Callable[[], Any]] = {
+    "extreme-values": lambda: ApaExtremeAdversary(-1000.0, 1000.0),
+    "split-bot": lambda: ApaSplitAdversary(-1000.0, 1000.0),
+    "equivocating": lambda: ApaEquivocatingAdversary(-1000.0, 1000.0),
+}
+
+
+def measured_pulse_trial(
+    simulation: Any, measurement: MeasurementSpec
+) -> TrialOutcome:
+    """Run a pulse trial under the measurement's liveness policy."""
+    outcome = run_pulse_trial(
+        simulation, measurement.pulses, warmup=measurement.warmup
+    )
+    if measurement.liveness == "require" and not outcome.live:
+        raise TrialFailure(outcome.error or "liveness violated")
+    return outcome
+
+
+def _skew_metrics(outcome: TrialOutcome) -> Tuple[float, float]:
+    """(max skew, steady skew), inf when the run died."""
+    if outcome.report is None:
+        return float("inf"), float("inf")
+    return outcome.report.max_skew, outcome.report.steady_skew
+
+
+# ----------------------------------------------------------------------
+# E1 — APA convergence (Theorem 9 / Corollary 2)
+# ----------------------------------------------------------------------
+
+
+@register_builder("apa-convergence")
+def apa_convergence_trial(
+    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
+) -> Dict[str, Any]:
+    """Iterated APA from a spread of honest inputs under one adversary."""
+    n = case["n"]
+    initial_range = case.get("initial_range", 64.0)
+    target = case.get("target", 1.0)
+    iterations = math.ceil(math.log2(initial_range / target))
+    f = max_faults(n)
+    faulty = list(range(n - f, n))
+    adversary = APA_ADVERSARIES[case["adversary"]]()
+    honest = [v for v in range(n) if v not in faulty]
+    inputs = {
+        v: initial_range * index / max(len(honest) - 1, 1)
+        for index, v in enumerate(honest)
+    }
+    low, high = min(inputs.values()), max(inputs.values())
+    outcome = run_apa(inputs, n, f, faulty, adversary, iterations=iterations)
+    ranges = outcome.ranges()
+    halved = all(
+        ranges[i + 1] <= ranges[i] / 2.0 + 1e-9
+        for i in range(len(ranges) - 1)
+    )
+    validity = all(
+        low - 1e-9 <= value <= high + 1e-9
+        for value in outcome.outputs.values()
+    )
+    return {
+        "f": f,
+        "iterations": iterations,
+        "rounds": 2 * iterations,
+        "initial_range": ranges[0],
+        "final_range": ranges[-1],
+        "halving_bound": theory.apa_halving_bound(ranges[0], iterations),
+        "halved": halved,
+        "validity": validity,
+    }
+
+
+# ----------------------------------------------------------------------
+# E4 — CPS skew vs the Theorem 17 bound
+# ----------------------------------------------------------------------
+
+
+@register_builder("cps-skew")
+def cps_skew_trial(
+    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
+) -> Dict[str, Any]:
+    """One CPS system under one adversary, skew measured against S."""
+    n, u, theta = case["n"], case["u"], case["theta"]
+    params = derive_parameters(theta, case.get("d", 1.0), u, n)
+    faulty = list(range(n - params.f, n))
+    behavior = CPS_ADVERSARIES[case["adversary"]](params)
+    simulation = build_cps_simulation(
+        params,
+        faulty=faulty,
+        behavior=behavior,
+        delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+        seed=seed,
+        clock_style=case.get("clock_style", "extreme"),
+    )
+    outcome = measured_pulse_trial(simulation, measurement)
+    if outcome.report is None:
+        return {
+            "f": params.f,
+            "max_skew": float("nan"),
+            "steady_skew": float("nan"),
+            "bound_S": params.S,
+            "within": False,
+            "live": False,
+        }
+    measured = outcome.report.max_skew
+    return {
+        "f": params.f,
+        "max_skew": measured,
+        "steady_skew": outcome.report.steady_skew,
+        "bound_S": params.S,
+        "within": measured <= params.S + 1e-9,
+        "live": outcome.live,
+    }
+
+
+# ----------------------------------------------------------------------
+# E5 — resilience range: CPS vs Lynch-Welch across f
+# ----------------------------------------------------------------------
+
+
+def _extreme_clocks(params: Any, n: int, theta: float) -> List[HardwareClock]:
+    return [
+        HardwareClock.constant_rate(
+            1.0 if v % 2 == 0 else theta,
+            offset=0.0 if v % 2 == 0 else params.S,
+            theta=theta,
+        )
+        for v in range(n)
+    ]
+
+
+@register_builder("cps-vs-lw-resilience")
+def resilience_trial(
+    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
+) -> Dict[str, Any]:
+    """The same timing attack against one algorithm at one fault count."""
+    n, theta, d, u = case["n"], case["theta"], case["d"], case["u"]
+    f = case["f"]
+    algorithm = case["algorithm"]
+    faulty = list(range(n - f, n)) if f else []
+    if algorithm == "CPS":
+        params = derive_parameters(theta, d, u, n, f=max_faults(n))
+        behavior = (
+            CpsMimicDealerAttack(params, cps_group_a(n)) if f else None
+        )
+        simulation = build_cps_simulation(
+            params,
+            clocks=_extreme_clocks(params, n, theta),
+            faulty=faulty,
+            behavior=behavior,
+            delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+            seed=seed,
+        )
+        tolerated = f <= max_faults(n)
+    elif algorithm == "Lynch-Welch":
+        # The protocol is told the true f so it can discard.
+        params = derive_lw_parameters(theta, d, u, n, f=max(f, 1))
+        behavior = LwTimingAttack(params, cps_group_a(n)) if f else None
+        simulation = build_lw_simulation(
+            params,
+            clocks=_extreme_clocks(params, n, theta),
+            faulty=faulty,
+            behavior=behavior,
+            delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+            seed=seed,
+        )
+        tolerated = f <= lw_max_faults(n)
+    else:
+        raise TrialFailure(f"unknown algorithm {algorithm!r}")
+    outcome = measured_pulse_trial(simulation, measurement)
+    measured, steady = _skew_metrics(outcome)
+    return {
+        "tolerated": tolerated,
+        "max_skew": measured,
+        "steady_skew": steady,
+        "bound": params.S,
+        "steady_within": steady <= params.S + 1e-9,
+    }
+
+
+# ----------------------------------------------------------------------
+# E6 — introduction comparison: CPS vs the three baselines
+# ----------------------------------------------------------------------
+
+E6_ALGORITHMS: Tuple[str, ...] = (
+    "CPS (this paper)",
+    "Lynch-Welch [25]",
+    "Signed relay [28]/[21]",
+    "Chain relay [2]-style",
+)
+
+
+@register_builder("algorithm-comparison")
+def algorithm_comparison_trial(
+    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
+) -> Dict[str, Any]:
+    """Steady skew of one algorithm at one size in the typical regime."""
+    n, theta, d, u = case["n"], case["theta"], case["d"], case["u"]
+    algorithm = case["algorithm"]
+    f = max_faults(n)
+    faulty = list(range(n - f, n))
+    if algorithm == "CPS (this paper)":
+        params = derive_parameters(theta, d, u, n)
+        simulation = build_cps_simulation(
+            params,
+            faulty=faulty,
+            behavior=CpsMimicDealerAttack(params, cps_group_a(n)),
+            delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+            seed=seed,
+            clock_style="extreme",
+        )
+        theory_skew = params.S
+    elif algorithm == "Lynch-Welch [25]":
+        # Lynch-Welch runs at its own maximum resilience.
+        f = lw_max_faults(n)
+        params = derive_lw_parameters(theta, d, u, n, f=f)
+        simulation = build_lw_simulation(
+            params,
+            faulty=list(range(n - f, n)) if f else [],
+            behavior=(
+                LwTimingAttack(params, cps_group_a(n)) if f else None
+            ),
+            delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+            seed=seed,
+        )
+        theory_skew = params.S
+    elif algorithm == "Signed relay [28]/[21]":
+        params = derive_st_parameters(theta, d, u, n)
+        simulation = build_st_simulation(
+            params,
+            faulty=faulty,
+            behavior=StRushAttack(params),
+            seed=seed,
+        )
+        theory_skew = theory.st_skew_bound(params)
+    elif algorithm == "Chain relay [2]-style":
+        params = derive_chain_parameters(theta, d, u, n)
+        simulation = build_chain_simulation(
+            params,
+            faulty=faulty,
+            behavior=ChainStretchAttack(params),
+            seed=seed,
+        )
+        theory_skew = theory.chain_skew_bound(params)
+    else:
+        raise TrialFailure(f"unknown algorithm {algorithm!r}")
+    outcome = measured_pulse_trial(simulation, measurement)
+    steady = (
+        outcome.report.steady_skew if outcome.report else float("inf")
+    )
+    return {
+        "f": f,
+        "theory_skew": theory_skew,
+        "steady_skew": steady,
+        "skew_over_d": steady / d,
+    }

@@ -1,0 +1,356 @@
+"""Campaign execution: serial or process-pool, never dying mid-sweep.
+
+The executor consumes the ordered :class:`~repro.campaigns.spec.TrialPlan`
+list of a campaign and produces one :class:`TrialRecord` per plan, in
+plan order, regardless of how the work was scheduled.  Three properties
+make parallel sweeps safe drop-in replacements for the old in-process
+loops:
+
+* **Determinism** — every plan carries its own derived seed and records
+  are re-ordered by plan index, so ``workers=1`` and ``workers=N`` yield
+  identical aggregated rows.
+* **Failure tabulation** — a builder exception becomes an ``error``
+  record (the :class:`~repro.analysis.runner.TrialOutcome` convention),
+  it never aborts the campaign.
+* **Caching** — with a :class:`~repro.campaigns.store.ResultStore`,
+  already-recorded case keys are replayed without execution and new
+  records are appended as soon as their chunk completes, so an
+  interrupted campaign resumes where it stopped.
+
+Per-trial timeouts are enforced in pool mode only (a chunk is given
+``timeout * len(chunk)`` and tabulated as timeout errors if exceeded);
+serial mode cannot preempt a running trial and ignores the setting.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.campaigns.spec import CampaignSpec, TrialPlan
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a campaign is scheduled.
+
+    ``workers <= 1`` runs in-process; larger values use a
+    ``ProcessPoolExecutor`` with ``chunk_size`` plans per task.
+    ``timeout`` is the per-trial budget in seconds (pool mode only) —
+    it is enforced per *chunk* (``timeout * len(chunk)``), so one slow
+    trial can tabulate its whole chunk as timed out; pair ``timeout``
+    with ``chunk_size=1`` when per-trial precision matters.  Workers
+    hung past their budget are terminated so the pool shutdown cannot
+    block indefinitely.
+    """
+
+    workers: int = 1
+    chunk_size: int = 4
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+
+@dataclass
+class TrialRecord:
+    """One executed (or cached / failed) trial."""
+
+    campaign: str
+    builder: str
+    case: Dict[str, Any]
+    seed: int
+    case_key: str
+    index: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    duration: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign,
+            "builder": self.builder,
+            "case": self.case,
+            "seed": self.seed,
+            "case_key": self.case_key,
+            "index": self.index,
+            "metrics": self.metrics,
+            "error": self.error,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "TrialRecord":
+        return cls(
+            campaign=payload["campaign"],
+            builder=payload["builder"],
+            case=payload["case"],
+            seed=payload["seed"],
+            case_key=payload["case_key"],
+            index=payload["index"],
+            metrics=payload.get("metrics") or {},
+            error=payload.get("error"),
+            duration=payload.get("duration", 0.0),
+        )
+
+
+def run_trial(
+    plan: TrialPlan, builder: Optional[Callable[..., Any]] = None
+) -> TrialRecord:
+    """Execute one plan, tabulating any exception as an error record.
+
+    ``builder`` may be supplied pre-resolved; the campaign executor does
+    so in the parent process and ships the function by pickle reference,
+    which keeps pool mode working for any module-level builder even
+    under spawn/forkserver start methods (where worker processes do not
+    inherit registrations made outside :mod:`repro.campaigns.builders`).
+    """
+    from repro.campaigns.builders import resolve_builder
+
+    start = time.perf_counter()
+    metrics: Dict[str, Any] = {}
+    error: Optional[str] = None
+    try:
+        if builder is None:
+            builder = resolve_builder(plan.builder)
+        metrics = builder(dict(plan.case), plan.measurement, plan.seed)
+    except Exception as exc:  # noqa: BLE001 - sweeps tabulate failures
+        metrics, error = {}, f"{type(exc).__name__}: {exc}"
+    return TrialRecord(
+        campaign=plan.campaign,
+        builder=plan.builder,
+        case=dict(plan.case),
+        seed=plan.seed,
+        case_key=plan.case_key,
+        index=plan.index,
+        metrics=metrics,
+        error=error,
+        duration=time.perf_counter() - start,
+    )
+
+
+def _run_prepared(task: Any) -> TrialRecord:
+    """Top-level runner for (plan, pre-resolved builder) pairs."""
+    plan, builder = task
+    return run_trial(plan, builder=builder)
+
+
+def _run_batch(function: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+    """Top-level pool task (must be picklable by reference)."""
+    return [function(item) for item in items]
+
+
+def map_trials(
+    function: Callable[[Any], Any],
+    items: Sequence[Any],
+    policy: Optional[ExecutionPolicy] = None,
+    on_error: Optional[Callable[[Any, BaseException], Any]] = None,
+    on_result: Optional[Callable[[Any], None]] = None,
+) -> List[Any]:
+    """Order-preserving serial/pool map with pool-level failure hooks.
+
+    ``on_error(item, exc)`` supplies a substitute result when an item (or
+    its whole chunk, for timeouts and broken pools) fails; the default
+    re-raises.  ``on_result`` is invoked for each result as soon as it is
+    available (the hook behind incremental store writes).  In pool mode
+    ``function`` and ``items`` must be picklable — module-level functions
+    and plain-data items.
+    """
+    policy = policy or ExecutionPolicy()
+    if on_error is None:
+        def on_error(_item: Any, exc: BaseException) -> Any:
+            raise exc
+
+    results: List[Any] = []
+
+    def emit(result: Any) -> None:
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+
+    # The serial shortcut must not swallow a requested timeout: a
+    # single-item pool run is still the only way to preempt a hung trial.
+    if policy.workers <= 1 or (len(items) <= 1 and policy.timeout is None):
+        for item in items:
+            try:
+                result = function(item)
+            except Exception as exc:  # noqa: BLE001
+                result = on_error(item, exc)
+            # emit outside the try: an on_result failure (say, the
+            # store's disk filling up) must propagate, not masquerade
+            # as a failure of the trial itself.
+            emit(result)
+        return results
+
+    chunks = [
+        list(items[start:start + policy.chunk_size])
+        for start in range(0, len(items), policy.chunk_size)
+    ]
+    pool = ProcessPoolExecutor(max_workers=policy.workers)
+    timed_out = False
+    try:
+        futures = [
+            pool.submit(_run_batch, function, chunk) for chunk in chunks
+        ]
+        for chunk, future in zip(chunks, futures):
+            budget = (
+                policy.timeout * len(chunk)
+                if policy.timeout is not None
+                else None
+            )
+            try:
+                batch = future.result(timeout=budget)
+            except FutureTimeoutError:
+                timed_out = True
+                future.cancel()
+                batch = [
+                    on_error(
+                        item,
+                        TimeoutError(
+                            f"trial chunk exceeded "
+                            f"{policy.timeout}s per trial"
+                        ),
+                    )
+                    for item in chunk
+                ]
+            except Exception as exc:  # noqa: BLE001 - broken pool, pickle
+                batch = [on_error(item, exc) for item in chunk]
+            for result in batch:
+                emit(result)
+    finally:
+        if timed_out:
+            # shutdown(wait=True) would block on the hung worker until
+            # its trial returns — possibly forever.  Every outstanding
+            # future is already tabulated, so kill the workers.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                process.terminate()
+        pool.shutdown(wait=True, cancel_futures=True)
+    return results
+
+
+@dataclass
+class CampaignRun:
+    """The outcome of executing one campaign at one scale."""
+
+    spec: CampaignSpec
+    scale: str
+    records: List[TrialRecord]
+    executed: int
+    cached: int
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for record in self.records if not record.ok)
+
+    def failures(self) -> List[TrialRecord]:
+        return [record for record in self.records if not record.ok]
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.spec.name} [{self.scale}]: "
+            f"{len(self.records)} trials — {self.executed} executed, "
+            f"{self.cached} cached, {self.failed} failed"
+        )
+
+
+def _timeout_record(plan: TrialPlan, exc: BaseException) -> TrialRecord:
+    return TrialRecord(
+        campaign=plan.campaign,
+        builder=plan.builder,
+        case=dict(plan.case),
+        seed=plan.seed,
+        case_key=plan.case_key,
+        index=plan.index,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def execute_campaign(
+    spec: CampaignSpec,
+    scale: str = "quick",
+    policy: Optional[ExecutionPolicy] = None,
+    store: Optional[Any] = None,
+    reuse: bool = True,
+) -> CampaignRun:
+    """Run (or replay) every trial of ``spec`` at ``scale``.
+
+    With ``store`` set, cached case keys are replayed without execution
+    (unless ``reuse=False``) and fresh records are appended incrementally
+    under the campaign's :meth:`~CampaignSpec.spec_key`, so re-running a
+    completed campaign executes zero new trials and an interrupted one
+    resumes with only the missing cases.  Builder failures are
+    deterministic and are cached like successes; pool-level failures
+    (timeouts, broken pools) are environment artifacts and are *not*
+    persisted, so a later run retries them.
+    """
+    policy = policy or ExecutionPolicy()
+    plans = spec.trials_for(scale)
+    key = spec.spec_key(scale) if store is not None else None
+    known: Dict[str, TrialRecord] = (
+        store.load(key) if store is not None and reuse else {}
+    )
+
+    records: List[Optional[TrialRecord]] = [None] * len(plans)
+    pending: List[TrialPlan] = []
+    cached = 0
+    for plan in plans:
+        hit = known.get(plan.case_key)
+        if hit is not None:
+            records[plan.index] = replace(
+                hit, index=plan.index, cached=True
+            )
+            cached += 1
+        else:
+            pending.append(plan)
+
+    transient: set = set()
+
+    def pool_failure(task: Any, exc: BaseException) -> TrialRecord:
+        plan, _builder = task
+        transient.add(plan.case_key)
+        return _timeout_record(plan, exc)
+
+    def persist(record: TrialRecord) -> None:
+        records[record.index] = record
+        if store is not None and record.case_key not in transient:
+            store.append(key, record)
+
+    # Resolve builders up front: unknown names are tabulated in-place
+    # by run_trial, and resolved functions travel to pool workers by
+    # pickle reference (spawn-safe for module-level builders).
+    from repro.campaigns.builders import resolve_builder
+
+    prepared = []
+    for plan in pending:
+        try:
+            builder = resolve_builder(plan.builder)
+        except Exception:  # noqa: BLE001 - run_trial tabulates it
+            builder = None
+        prepared.append((plan, builder))
+
+    executed = map_trials(
+        _run_prepared,
+        prepared,
+        policy,
+        on_error=pool_failure,
+        on_result=persist,
+    )
+
+    assert all(record is not None for record in records)
+    return CampaignRun(
+        spec=spec,
+        scale=scale,
+        records=[record for record in records if record is not None],
+        executed=len(executed),
+        cached=cached,
+    )

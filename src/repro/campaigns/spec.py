@@ -1,0 +1,258 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a data-driven description of a sweep: one or more
+:class:`ScenarioSpec` entries (a builder name plus a parameter grid) and
+per-scale :class:`MeasurementSpec` settings.  The spec layer owns three
+jobs that used to be scattered through ``analysis/experiments.py``:
+
+1. **Grids** — each scenario holds per-scale axes (cartesian product)
+   and explicit case lists; :meth:`ScenarioSpec.grid_for` materializes
+   the concrete case dicts for a scale.  Adding a new tier (say
+   ``scale="stress"``) is one ``axes["stress"] = {...}`` entry per
+   experiment — unknown scales fall back to ``"*"`` and then ``"full"``,
+   matching the historical "anything but quick is full" convention.
+2. **Seeds** — every trial gets a deterministic seed.  A case may pin
+   its own ``seed``; otherwise one is derived from the campaign seed,
+   the builder name, and the *canonical* form of the case, so the seed
+   is independent of dict-key ordering and of execution order.
+3. **Identity** — :func:`stable_hash` over canonical JSON gives every
+   trial a ``case_key`` and every (campaign, scale) a ``spec_key``; the
+   result store is content-addressed by these, enabling cache hits and
+   resume.  The spec key deliberately excludes the grid itself so that
+   *extending* a grid resumes into the same store file and only the
+   missing cases run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+CaseDict = Dict[str, Any]
+
+#: Fallback chain for per-scale lookups: exact scale, wildcard, "full".
+SCALE_FALLBACK: Tuple[str, ...] = ("*", "full")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, tuples as lists."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=_jsonable
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if hasattr(value, "as_dict"):
+        return value.as_dict()
+    raise TypeError(f"not canonicalizable: {value!r}")
+
+
+def stable_hash(*parts: Any) -> str:
+    """Hex digest of the canonical JSON of ``parts`` (stable across runs,
+    unlike the salted builtin ``hash``)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(canonical_json(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def derive_seed(campaign_seed: int, builder: str, case: Mapping[str, Any]) -> int:
+    """Deterministic 32-bit per-case seed.
+
+    Depends only on canonical content — reordering the case dict's keys
+    or the execution schedule cannot change it, which is what makes
+    serial and parallel campaign runs produce identical records.
+    """
+    return int(stable_hash(campaign_seed, builder, dict(case))[:8], 16)
+
+
+def _for_scale(mapping: Mapping[str, Any], scale: str) -> Any:
+    for key in (scale, *SCALE_FALLBACK):
+        if key in mapping:
+            return mapping[key]
+    return None
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """How each trial is measured.
+
+    ``liveness`` selects the policy applied by pulse-trial builders:
+    ``"tabulate"`` records dead runs as rows (NaN/inf skews, ``live``
+    False) while ``"require"`` turns them into error records.
+    """
+
+    pulses: int = 10
+    warmup: int = 2
+    liveness: str = "tabulate"  # "tabulate" | "require"
+
+    def __post_init__(self) -> None:
+        if self.liveness not in ("tabulate", "require"):
+            raise ValueError(
+                f"liveness must be 'tabulate' or 'require', "
+                f"got {self.liveness!r}"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "pulses": self.pulses,
+            "warmup": self.warmup,
+            "liveness": self.liveness,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One builder plus its per-scale parameter grid.
+
+    ``base`` holds parameters common to every case.  ``axes`` maps a
+    scale to ``{axis_name: values}``; the grid is the cartesian product
+    of the axes in insertion order (later axes vary fastest).  ``cases``
+    maps a scale to an explicit case list; when both are present the
+    grid is ``cases x axes`` (cases outermost), which is how paired
+    parameters like ``(n, u, theta)`` systems combine with an adversary
+    axis without a full product.
+    """
+
+    builder: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    axes: Mapping[str, Mapping[str, Sequence[Any]]] = field(
+        default_factory=dict
+    )
+    cases: Mapping[str, Sequence[Mapping[str, Any]]] = field(
+        default_factory=dict
+    )
+
+    def axes_for(self, scale: str) -> Mapping[str, Sequence[Any]]:
+        return _for_scale(self.axes, scale) or {}
+
+    def cases_for(self, scale: str) -> Sequence[Mapping[str, Any]]:
+        return _for_scale(self.cases, scale) or ({},)
+
+    def grid_for(self, scale: str) -> List[CaseDict]:
+        """Materialize the concrete case dicts for ``scale``."""
+        axes = self.axes_for(scale)
+        names = list(axes)
+        grid: List[CaseDict] = []
+        for explicit in self.cases_for(scale):
+            for combo in itertools.product(*(axes[k] for k in names)):
+                case = dict(self.base)
+                case.update(explicit)
+                case.update(zip(names, combo))
+                grid.append(case)
+        return grid
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """One fully-resolved trial: what to run, with what, keyed how."""
+
+    campaign: str
+    scenario: int
+    builder: str
+    case: CaseDict
+    measurement: MeasurementSpec
+    seed: int
+    case_key: str
+    index: int
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, seeded collection of scenarios plus measurement tiers."""
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    measurements: Mapping[str, MeasurementSpec] = field(
+        default_factory=lambda: {"*": MeasurementSpec()}
+    )
+    seed: int = 0
+    description: str = ""
+
+    def measurement_for(self, scale: str) -> MeasurementSpec:
+        found = _for_scale(self.measurements, scale)
+        if found is None:
+            raise KeyError(
+                f"campaign {self.name!r} has no measurement for scale "
+                f"{scale!r} (and no '*'/'full' fallback)"
+            )
+        return found
+
+    def trials_for(self, scale: str) -> List[TrialPlan]:
+        """Flatten every scenario grid into an ordered trial list."""
+        measurement = self.measurement_for(scale)
+        plans: List[TrialPlan] = []
+        for scenario_index, scenario in enumerate(self.scenarios):
+            for case in scenario.grid_for(scale):
+                seed = (
+                    int(case["seed"])
+                    if "seed" in case
+                    else derive_seed(self.seed, scenario.builder, case)
+                )
+                case_key = stable_hash(
+                    scenario.builder, case, measurement.as_dict(), seed
+                )
+                plans.append(
+                    TrialPlan(
+                        campaign=self.name,
+                        scenario=scenario_index,
+                        builder=scenario.builder,
+                        case=case,
+                        measurement=measurement,
+                        seed=seed,
+                        case_key=case_key,
+                        index=len(plans),
+                    )
+                )
+        return plans
+
+    def spec_key(self, scale: str) -> str:
+        """Content address of this (campaign, scale) in a result store.
+
+        Excludes the grid on purpose: extending an axis keeps the same
+        store file, so ``--resume`` only runs the missing cases.
+        Per-case identity lives in each trial's ``case_key``.
+        """
+        return stable_hash(
+            {
+                "name": self.name,
+                "scale": scale,
+                "seed": self.seed,
+                "measurement": self.measurement_for(scale).as_dict(),
+                "builders": [s.builder for s in self.scenarios],
+            }
+        )
+
+    def describe(self, scale: str) -> Dict[str, Any]:
+        """Human-oriented summary used by ``repro campaign show``."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "scale": scale,
+            "seed": self.seed,
+            "measurement": self.measurement_for(scale).as_dict(),
+            "spec_key": self.spec_key(scale),
+            "scenarios": [
+                {
+                    "builder": scenario.builder,
+                    "cases": len(scenario.grid_for(scale)),
+                }
+                for scenario in self.scenarios
+            ],
+            "trials": len(self.trials_for(scale)),
+        }
+
+
+def scales_of(spec: CampaignSpec) -> List[str]:
+    """Every scale named anywhere in the spec (wildcards excluded)."""
+    names = set(spec.measurements)
+    for scenario in spec.scenarios:
+        names.update(scenario.axes)
+        names.update(scenario.cases)
+    return sorted(n for n in names if n != "*")

@@ -1,0 +1,90 @@
+"""Content-addressed JSONL result store for campaign trials.
+
+One file per (campaign, scale) spec key; one JSON line per trial
+record, appended as trials complete.  Because both the file name
+(:meth:`~repro.campaigns.spec.CampaignSpec.spec_key`) and the per-record
+``case_key`` are stable hashes of code-relevant parameters, the store
+gives three things for free:
+
+* **cache hits** — re-running a completed campaign finds every case key
+  and executes zero new trials (pure replay);
+* **resume** — an interrupted campaign re-runs only the missing cases
+  (appends are flushed per record, so a crash loses at most the trial
+  in flight);
+* **comparison** — records from different runs of the same spec land in
+  the same file and can be diffed or aggregated across runs.
+
+Changing any code-relevant parameter (a case value, the measurement,
+the seed) changes the case key and is a cache miss by construction.
+The JSON layer uses Python's ``Infinity``/``NaN`` extensions so skew
+metrics of dead runs round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional
+
+from repro.campaigns.executor import TrialRecord
+
+
+class ResultStore:
+    """A directory of ``<spec_key>.jsonl`` trial-record files."""
+
+    def __init__(self, root: str) -> None:
+        # Created lazily on first write so read-only consumers (e.g.
+        # ``repro campaign show --store``) have no filesystem effect.
+        self.root = str(root)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.jsonl")
+
+    def append(self, key: str, record: TrialRecord) -> None:
+        """Append one record, flushed immediately (crash-resumable)."""
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.path_for(key), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_json_dict()) + "\n")
+
+    def iter_records(self, key: str) -> Iterator[TrialRecord]:
+        path = self.path_for(key)
+        if not os.path.exists(path):
+            return
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from an interrupted run
+                yield TrialRecord.from_json_dict(payload)
+
+    def load(self, key: str) -> Dict[str, TrialRecord]:
+        """All records for ``key``, by case key (last write wins)."""
+        records: Dict[str, TrialRecord] = {}
+        for record in self.iter_records(key):
+            records[record.case_key] = record
+        return records
+
+    def count(self, key: str) -> int:
+        return len(self.load(key))
+
+    def keys(self) -> List[str]:
+        """Every spec key present in the store."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            name[: -len(".jsonl")]
+            for name in os.listdir(self.root)
+            if name.endswith(".jsonl")
+        )
+
+    def clear(self, key: Optional[str] = None) -> None:
+        """Drop one spec's records, or every record when ``key`` is None."""
+        targets = [key] if key is not None else self.keys()
+        for target in targets:
+            path = self.path_for(target)
+            if os.path.exists(path):
+                os.remove(path)

@@ -11,6 +11,15 @@ Subcommands
     Run every experiment, printing tables (and writing CSVs if asked).
 ``params --theta 1.001 --d 1.0 --u 0.01 --n 8``
     Derive and display CPS parameters and every bound of Theorem 17.
+``campaign list``
+    Show the declarative campaign catalog (the ported experiments).
+``campaign show E4 [--scale full] [--store results/store]``
+    Describe a campaign's grid, trial count, spec key, and cache state.
+``campaign run E4 [--scale] [--workers 8] [--store DIR] [--resume]
+[--fresh] [--timeout S] [--csv out.csv]``
+    Execute a campaign through the sweep engine — serially or on a
+    process pool — replaying cached trials from the result store, then
+    print its table and execution summary.
 """
 
 from __future__ import annotations
@@ -22,6 +31,14 @@ from typing import List, Optional
 
 from repro.analysis import theory
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.campaigns import (
+    ExecutionPolicy,
+    ResultStore,
+    available_campaigns,
+    campaign_definition,
+    execute_campaign,
+    run_summary_table,
+)
 from repro.core.params import derive_parameters, max_faults
 
 
@@ -70,6 +87,67 @@ def _command_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign_list(_args: argparse.Namespace) -> int:
+    for name in available_campaigns():
+        definition = campaign_definition(name)
+        print(f"{name:<4} {definition.description}")
+    return 0
+
+
+def _command_campaign_show(args: argparse.Namespace) -> int:
+    definition = campaign_definition(args.campaign)
+    spec = definition.spec()
+    info = spec.describe(args.scale)
+    print(f"campaign {info['name']} [{info['scale']}] — "
+          f"{info['description']}")
+    print(f"  seed       {info['seed']}")
+    print(f"  spec key   {info['spec_key']}")
+    measurement = info["measurement"]
+    print(
+        f"  measure    pulses={measurement['pulses']} "
+        f"warmup={measurement['warmup']} "
+        f"liveness={measurement['liveness']}"
+    )
+    for scenario in info["scenarios"]:
+        print(f"  scenario   {scenario['builder']}: "
+              f"{scenario['cases']} cases")
+    print(f"  trials     {info['trials']}")
+    if args.store:
+        store = ResultStore(args.store)
+        cached = store.count(spec.spec_key(args.scale))
+        print(f"  store      {cached}/{info['trials']} trials cached "
+              f"in {args.store}")
+    return 0
+
+
+def _command_campaign_run(args: argparse.Namespace) -> int:
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store")
+    definition = campaign_definition(args.campaign)
+    store = ResultStore(args.store) if args.store else None
+    policy = ExecutionPolicy(
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        timeout=args.timeout,
+    )
+    run = execute_campaign(
+        definition.spec(),
+        scale=args.scale,
+        policy=policy,
+        store=store,
+        reuse=not args.fresh,
+    )
+    table = definition.tabulate(run)
+    print(table.render())
+    print()
+    print(run_summary_table(run).render())
+    print(run.summary() + f" (workers={policy.workers})")
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0 if run.failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -109,6 +187,60 @@ def build_parser() -> argparse.ArgumentParser:
     params_parser.add_argument("--f", type=int, default=None)
     params_parser.add_argument("--T", type=float, default=None)
     params_parser.set_defaults(handler=_command_params)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="declarative sweep campaigns (parallel, cached)"
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_sub.add_parser(
+        "list", help="list the campaign catalog"
+    ).set_defaults(handler=_command_campaign_list)
+
+    show_parser = campaign_sub.add_parser(
+        "show", help="describe a campaign's grid and cache state"
+    )
+    show_parser.add_argument("campaign", help="campaign id, e.g. E4")
+    show_parser.add_argument("--scale", default="quick")
+    show_parser.add_argument(
+        "--store", help="result-store directory to inspect"
+    )
+    show_parser.set_defaults(handler=_command_campaign_show)
+
+    campaign_run_parser = campaign_sub.add_parser(
+        "run", help="execute a campaign through the sweep engine"
+    )
+    campaign_run_parser.add_argument("campaign", help="campaign id")
+    campaign_run_parser.add_argument("--scale", default="quick")
+    campaign_run_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size (1 = in-process serial)",
+    )
+    campaign_run_parser.add_argument(
+        "--chunk-size", type=int, default=4,
+        help="trials per pool task",
+    )
+    campaign_run_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial timeout in seconds (pool mode only)",
+    )
+    campaign_run_parser.add_argument(
+        "--store", help="result-store directory (enables cache replay)"
+    )
+    campaign_run_parser.add_argument(
+        "--resume", action="store_true",
+        help="complete a partially-run campaign (requires --store)",
+    )
+    campaign_run_parser.add_argument(
+        "--fresh", action="store_true",
+        help="ignore cached records and re-execute every trial",
+    )
+    campaign_run_parser.add_argument(
+        "--csv", help="also write the table as CSV"
+    )
+    campaign_run_parser.set_defaults(handler=_command_campaign_run)
 
     return parser
 

@@ -31,6 +31,47 @@ class TestRun:
             main(["run", "E99"])
 
 
+class TestCampaign:
+    def test_lists_campaign_catalog(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("E1", "E4", "E5", "E6"):
+            assert name in out
+
+    def test_show_describes_grid(self, capsys):
+        assert main(["campaign", "show", "E4"]) == 0
+        out = capsys.readouterr().out
+        assert "cps-skew: 6 cases" in out
+        assert "spec key" in out
+
+    def test_run_prints_table_and_summary(self, capsys):
+        assert main(["campaign", "run", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "APA convergence" in out
+        assert "6 executed, 0 cached, 0 failed" in out
+
+    def test_run_with_store_replays_from_cache(self, tmp_path, capsys):
+        store = os.path.join(tmp_path, "store")
+        assert main(["campaign", "run", "E1", "--store", store]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                ["campaign", "run", "E1", "--store", store, "--resume"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 executed, 6 cached, 0 failed" in out
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "E1", "--resume"])
+
+    def test_unknown_campaign(self):
+        with pytest.raises(KeyError):
+            main(["campaign", "run", "E99"])
+
+
 class TestParams:
     def test_prints_bounds(self, capsys):
         assert (
