@@ -1,6 +1,6 @@
 """Benchmark A1: Ablation: echo-rejection rule.
 
-Regenerates the A1 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the A1 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

@@ -1,6 +1,6 @@
 """Benchmark A2: Ablation: f-b vs f discard rule.
 
-Regenerates the A2 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the A2 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

@@ -1,6 +1,6 @@
 """Benchmark A3: Ablation: dealer send offset theta*S.
 
-Regenerates the A3 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the A3 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

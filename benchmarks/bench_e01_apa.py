@@ -1,6 +1,6 @@
 """Benchmark E1: APA convergence (Theorem 9 / Corollary 2).
 
-Regenerates the E1 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E1 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

@@ -1,6 +1,6 @@
 """Benchmark E2: Crusader broadcast properties (Figure 4).
 
-Regenerates the E2 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E2 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

@@ -1,6 +1,6 @@
 """Benchmark E3: TCB estimate accuracy (Lemmas 10-13).
 
-Regenerates the E3 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E3 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

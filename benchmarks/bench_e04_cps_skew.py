@@ -1,6 +1,6 @@
 """Benchmark E4: CPS skew vs Theorem 17 bound.
 
-Regenerates the E4 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E4 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

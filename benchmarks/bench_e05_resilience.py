@@ -1,6 +1,6 @@
 """Benchmark E5: Resilience range: CPS vs Lynch-Welch.
 
-Regenerates the E5 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E5 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

@@ -1,6 +1,6 @@
 """Benchmark E6: Introduction comparison: all four algorithms.
 
-Regenerates the E6 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E6 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

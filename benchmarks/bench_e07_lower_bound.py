@@ -1,6 +1,6 @@
 """Benchmark E7: Theorem 5 lower-bound construction.
 
-Regenerates the E7 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E7 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

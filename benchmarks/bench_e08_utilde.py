@@ -1,6 +1,6 @@
 """Benchmark E8: Skew degradation when faulty links undercut d-u.
 
-Regenerates the E8 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E8 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

@@ -1,6 +1,6 @@
 """Benchmark E9: Period bounds (Theorem 17).
 
-Regenerates the E9 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E9 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

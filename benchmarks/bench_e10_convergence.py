@@ -1,6 +1,6 @@
 """Benchmark E10: Convergence trajectory (Lemma 16).
 
-Regenerates the E10 table (see EXPERIMENTS.md) and asserts its headline
+Regenerates the E10 table (see docs/EXPERIMENTS.md) and asserts its headline
 claim still holds on the freshly measured data.
 """
 

@@ -1,0 +1,23 @@
+"""Benchmark STRESS: the registry-driven scenario campaign.
+
+Regenerates the STRESS table (see docs/EXPERIMENTS.md) — adversary x
+delay x drift cross products plus sparse topologies through the
+Appendix A overlay — and asserts its headline claims on the freshly
+measured data: every trial completes (no tabulated failures) and
+every live clique-model run stays within its derived bound S.
+Topology rows are checked against the *overlay* bound instead.
+
+``REPRO_BENCH_SCALE=stress`` widens the grid to the large tier
+(n up to 25, six adversaries, five delay policies).
+"""
+
+from conftest import SCALE, bench_campaign
+
+
+def test_stress_scenarios(benchmark, capsys):
+    run, table = bench_campaign(benchmark, capsys, "STRESS")
+    assert run.failed == 0, [r.error for r in run.failures()]
+    within = table.column("within")
+    live = table.column("live")
+    assert all(w for w, alive in zip(within, live) if alive)
+    assert any(live)

@@ -2,7 +2,7 @@
 
 Each ``bench_*`` file regenerates one experiment table (the paper has no
 empirical section, so the "tables/figures" are its quantitative claims —
-see DESIGN.md section 5 and EXPERIMENTS.md).  Run with::
+see the generated ``docs/EXPERIMENTS.md``).  Run with::
 
     pytest benchmarks/ --benchmark-only
 
@@ -50,3 +50,30 @@ def bench_experiment(benchmark, capsys, name: str):
     os.makedirs(RESULTS_DIR, exist_ok=True)
     table.to_csv(os.path.join(RESULTS_DIR, f"{name.lower()}.csv"))
     return table
+
+
+def bench_campaign(benchmark, capsys, name: str):
+    """Benchmark one campaign through the sweep engine.
+
+    Like :func:`bench_experiment` but returns ``(run, table)`` so bench
+    files can assert on execution counters (failures, cache hits) as
+    well as table contents.
+    """
+    from repro.campaigns import campaign_definition, execute_campaign
+
+    definition = campaign_definition(name)
+    run = benchmark.pedantic(
+        execute_campaign,
+        args=(definition.spec(),),
+        kwargs={"scale": SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    table = definition.tabulate(run)
+    assert table.rows, f"campaign {name} produced no rows"
+    with capsys.disabled():
+        print()
+        print(table.render())
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    table.to_csv(os.path.join(RESULTS_DIR, f"{name.lower()}.csv"))
+    return run, table

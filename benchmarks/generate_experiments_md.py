@@ -1,18 +1,42 @@
 #!/usr/bin/env python3
-"""Regenerate EXPERIMENTS.md from freshly run experiments.
+"""Generate ``docs/EXPERIMENTS.md`` from specs and the scenario registry.
+
+The catalog is *derived, not hand-maintained*: experiment grids come
+from the declarative :class:`~repro.campaigns.spec.CampaignSpec` tiers,
+scenario entries from the scenario registry
+(:mod:`repro.scenarios`), and the paper-vs-measured commentary from the
+:data:`COMMENTARY` table below.  No trials are executed, so the output
+is deterministic and cheap enough for a CI freshness check.
 
 Usage::
 
-    python benchmarks/generate_experiments_md.py [quick|full]
+    python benchmarks/generate_experiments_md.py           # rewrite
+    python benchmarks/generate_experiments_md.py --check   # exit 1 if stale
+
+Measured tables themselves are reproduced on demand (``repro run E4``,
+``repro campaign run STRESS``, ``pytest benchmarks/ --benchmark-only``);
+the committed CSV snapshots live in ``results/``.
 """
 
 from __future__ import annotations
 
 import os
+import re
 import sys
+from typing import Dict, List
 
-from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro import scenarios
+from repro.campaigns import (
+    available_campaigns,
+    campaign_definition,
+    scales_of,
+)
 from repro.core.params import THETA_MAX
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..")
+)
+OUTPUT_PATH = os.path.join(REPO_ROOT, "docs", "EXPERIMENTS.md")
 
 COMMENTARY = {
     "E1": (
@@ -73,7 +97,9 @@ COMMENTARY = {
         "at `f = 4` the attack pins each honest group to a different "
         "honest extreme, contraction stops, and the steady skew exceeds "
         "the bound. CPS stays within its bound for every "
-        "`f <= 4 = ceil(9/2)-1`.",
+        "`f <= 4 = ceil(9/2)-1`.  The `stress` tier re-asks the question "
+        "under registry-named delay policies (eclipse, flickering "
+        "partition) instead of only the static timing split.",
     ),
     "E6": (
         "Introduction comparison — all four algorithm families",
@@ -104,7 +130,8 @@ COMMENTARY = {
         "links alone — the skew is governed by `u_tilde`, not `u`.",
     ),
     "E8": (
-        "Section 1 discussion — degradation when faulty links undercut d-u",
+        "Section 1 discussion — degradation when faulty links undercut "
+        "d-u",
         "**Paper:** CPS's guarantee *requires* faulty nodes to obey the "
         "minimum delay `d - u`; otherwise they can echo a correct "
         "sender's signature so early that honest broadcasts are "
@@ -159,23 +186,39 @@ COMMENTARY = {
         "dealers get ⊥-ed (Lemma 10 breaks). With the prescribed "
         "`theta*S` wait, zero honest rejections occur.",
     ),
+    "STRESS": (
+        "Scenario-registry stress campaign",
+        "Campaign-native (no single claim): cross products of registry-"
+        "named adversaries, delay policies, and drift profiles, plus "
+        "sparse topologies run through the Appendix A overlay "
+        "translation (`f + 1` vertex-disjoint paths, effective "
+        "`(d_eff, u_eff)`).  Topology rows compare measured skew against "
+        "the *overlay-derived* bound — the quantitative form of the "
+        "paper's closing warning about balancing path lengths.  Every "
+        "axis value is resolvable via `repro scenarios show <key>`.",
+    ),
 }
 
 ORDER = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-         "A1", "A2", "A3"]
+         "A1", "A2", "A3", "STRESS"]
 
-HEADER = f"""# EXPERIMENTS — paper vs. measured
+HEADER = f"""# EXPERIMENTS — paper claims, grids, and scenarios
 
 The paper is a theory paper (PODC 2022) with no empirical section; its
 "tables and figures" are four algorithm boxes and a set of quantitative
-claims.  This file records, for every claim, what the paper states and
-what this reproduction measures.  Regenerate with::
+claims.  This catalog records, for every claim, what the paper states,
+what this reproduction measures, and — for the experiments ported to
+the campaign engine — the exact declarative grid behind each tier.
 
-    python benchmarks/generate_experiments_md.py [quick|full]
+This file is **generated** from the campaign specs and the scenario
+registry; do not edit it by hand.  Regenerate with::
 
-or run individual tables via ``repro run <id>`` / ``pytest benchmarks/``.
-All tables below were produced by the committed code at quick scale;
-CSVs land in ``results/``.
+    python benchmarks/generate_experiments_md.py
+
+CI fails if the committed copy is stale (``--check``).  Reproduce the
+measured tables with ``repro run <id>`` / ``repro campaign run <id>``
+or ``pytest benchmarks/ --benchmark-only``; committed CSV snapshots
+live in ``results/``.
 
 **Global fidelity note.** Our parameter constants follow the appendix
 derivation (Lemma 16 fixed point, Corollary 15 floor for `T`) exactly as
@@ -188,19 +231,142 @@ constants, so "within bound" is a *strict* check, not an asymptotic one.
 """
 
 
-def main() -> int:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "quick"
-    sections = [HEADER]
+def _bench_files() -> Dict[str, str]:
+    """Map experiment ids to their ``benchmarks/bench_*.py`` harness."""
+    mapping: Dict[str, str] = {}
+    pattern = re.compile(r"bench_([ea])(\d+)_")
+    for name in sorted(os.listdir(os.path.dirname(__file__))):
+        match = pattern.match(name)
+        if match:
+            experiment = f"{match.group(1).upper()}{int(match.group(2))}"
+            mapping[experiment] = f"benchmarks/{name}"
+        elif name.startswith("bench_stress_"):
+            mapping["STRESS"] = f"benchmarks/{name}"
+    return mapping
+
+
+def _campaign_scales(spec) -> List[str]:
+    """Display order for a spec's tiers: quick, full, then the rest."""
+    declared = scales_of(spec)
+    ordered = [s for s in ("quick", "full") if s in declared]
+    return ordered + [s for s in declared if s not in ordered]
+
+
+def catalog_table(bench_files: Dict[str, str]) -> List[str]:
+    lines = [
+        "| id | claim | bench harness | campaign engine |",
+        "|----|-------|---------------|-----------------|",
+    ]
+    for name in ORDER:
+        title = COMMENTARY[name][0]
+        bench = bench_files.get(name)
+        bench_cell = f"`{bench}`" if bench else "—"
+        if name in available_campaigns():
+            campaign_cell = f"`repro campaign run {name}`"
+        else:
+            campaign_cell = "—"
+        lines.append(
+            f"| {name} | {title} | {bench_cell} | {campaign_cell} |"
+        )
+    return lines
+
+
+def campaign_grid_section(name: str) -> List[str]:
+    definition = campaign_definition(name)
+    spec = definition.spec()
+    lines = [
+        "",
+        f"**Campaign grid** (seed {spec.seed}; run with "
+        f"`repro campaign run {name} [--scale TIER] [--workers N]`):",
+        "",
+        "| tier | trials | pulses | warmup | grid |",
+        "|------|--------|--------|--------|------|",
+    ]
+    for scale in _campaign_scales(spec):
+        info = spec.describe(scale)
+        measurement = info["measurement"]
+        grid = "; ".join(
+            f"{scenario['builder']} ×{scenario['cases']}"
+            for scenario in info["scenarios"]
+        )
+        lines.append(
+            f"| {scale} | {info['trials']} | {measurement['pulses']} "
+            f"| {measurement['warmup']} | {grid} |"
+        )
+    return lines
+
+
+def scenario_registry_section() -> List[str]:
+    lines = [
+        "\n## Scenario registry\n",
+        "Campaign cases name behaviours by registry key "
+        "(`repro scenarios list`, `repro scenarios show <key>`); "
+        "unknown keys fail at campaign *plan* time with a did-you-mean "
+        "hint.  Factory conventions per kind are documented in "
+        "`repro.scenarios.registry`.",
+    ]
+    for kind in scenarios.KINDS:
+        entries = scenarios.entries(kind)
+        lines.append(f"\n### {kind} ({len(entries)} entries)\n")
+        lines.append("| key | description | paper anchor | parameters |")
+        lines.append("|-----|-------------|--------------|------------|")
+        for entry in entries:
+            params = (
+                ", ".join(f"`{p.render()}`" for p in entry.params)
+                or "—"
+            )
+            ref = entry.paper_ref or "—"
+            lines.append(
+                f"| `{entry.key}` | {entry.description} | {ref} "
+                f"| {params} |"
+            )
+    return lines
+
+
+def generate() -> str:
+    bench_files = _bench_files()
+    sections = [HEADER, "\n## Catalog\n"]
+    sections.extend(catalog_table(bench_files))
     for name in ORDER:
         title, commentary = COMMENTARY[name]
-        table = run_experiment(name, scale=scale)
         sections.append(f"\n## {name} — {title}\n")
         sections.append(commentary + "\n")
-        sections.append(table.to_markdown() + "\n")
-    path = os.path.join(os.path.dirname(__file__), "..", "EXPERIMENTS.md")
-    with open(path, "w") as handle:
-        handle.write("\n".join(sections))
-    print(f"wrote {os.path.abspath(path)} ({scale} scale)")
+        reproduce = []
+        if name in available_campaigns():
+            reproduce = campaign_grid_section(name)
+        elif name in bench_files:
+            reproduce = [
+                f"**Reproduce:** `repro run {name}` or "
+                f"`pytest {bench_files[name]} --benchmark-only`.",
+            ]
+        sections.extend(reproduce)
+    sections.extend(scenario_registry_section())
+    sections.append("")
+    return "\n".join(sections)
+
+
+def main() -> int:
+    check = "--check" in sys.argv[1:]
+    content = generate()
+    if check:
+        try:
+            with open(OUTPUT_PATH, encoding="utf-8") as handle:
+                existing = handle.read()
+        except FileNotFoundError:
+            existing = None
+        if existing != content:
+            print(
+                "docs/EXPERIMENTS.md is stale; regenerate with "
+                "'python benchmarks/generate_experiments_md.py'",
+                file=sys.stderr,
+            )
+            return 1
+        print("docs/EXPERIMENTS.md is up to date")
+        return 0
+    os.makedirs(os.path.dirname(OUTPUT_PATH), exist_ok=True)
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    print(f"wrote {OUTPUT_PATH}")
     return 0
 
 

@@ -1,0 +1,105 @@
+"""The scenario registry: discover behaviours, assemble stress sweeps.
+
+Walks the three steps the registry enables:
+
+1. *discover* — list registered adversaries, delay policies,
+   topologies, and drift profiles with their metadata (the same catalog
+   behind ``repro scenarios list``);
+2. *compose* — build a campaign whose cases are nothing but registry
+   keys: a coordinated-offset attack under an eclipse delay policy on
+   mixed-quality hardware, with a misspelled key caught at plan time;
+3. *run* — execute through the campaign engine and check the measured
+   skew against the derived bound, including a sparse topology routed
+   through the Appendix A overlay.
+"""
+
+from repro import scenarios
+from repro.campaigns import (
+    CampaignSpec,
+    MeasurementSpec,
+    ScenarioSpec,
+    execute_campaign,
+)
+from repro.scenarios import UnknownScenarioError
+
+print("=== The scenario catalog ===")
+for kind in scenarios.KINDS:
+    keys = ", ".join(entry.key for entry in scenarios.entries(kind))
+    print(f"{kind:<10} {keys}")
+print(f"total: {len(scenarios.REGISTRY)} entries")
+
+entry = scenarios.get("adversary", "coordinated-offset")
+print(f"\n{entry.qualified}: {entry.description}")
+print(f"  paper: {entry.paper_ref}")
+
+print("\n=== A campaign assembled from registry keys ===")
+campaign = CampaignSpec(
+    name="stress-demo",
+    seed=23,
+    scenarios=(
+        # Clique model: attacks x delay policies on mixed hardware.
+        ScenarioSpec(
+            builder="cps-stress",
+            base={"n": 6, "u": 0.02, "drift": "mixed"},
+            axes={
+                "*": {
+                    "adversary": ("coordinated-offset", "mimic-split"),
+                    "delay": ("eclipse", "flicker-partition"),
+                }
+            },
+        ),
+        # Sparse physical network: CPS on the Appendix A overlay.
+        ScenarioSpec(
+            builder="cps-stress",
+            base={
+                "n": 8,
+                "u": 0.01,
+                "topology": "random-regular",
+                "delay": "random",
+            },
+        ),
+    ),
+    measurements={"*": MeasurementSpec(pulses=6, warmup=2)},
+)
+
+run = execute_campaign(campaign)
+print(f"{run.summary()}")
+for record in run.records:
+    case = record.case
+    label = case.get("topology") or (
+        f"{case['adversary']} + {case['delay']}"
+    )
+    m = record.metrics
+    print(
+        f"  {label:<36} steady skew {m['steady_skew']:.5f} "
+        f"(bound {m['bound_S']:.5f}, live={m['live']})"
+    )
+
+assert run.failed == 0
+assert all(record.metrics["live"] for record in run.records)
+assert all(record.metrics["within"] for record in run.records)
+
+print("\n=== Typos fail at plan time, not mid-sweep ===")
+typo = CampaignSpec(
+    name="typo",
+    scenarios=(
+        ScenarioSpec(
+            builder="cps-stress",
+            base={"n": 5, "adversary": "cordinated-offset"},
+        ),
+    ),
+)
+try:
+    typo.trials_for("quick")
+except UnknownScenarioError as error:
+    print(f"caught: {error}")
+    caught = True
+assert caught
+
+overlay_record = run.records[-1]
+print(
+    f"\noverlay: d_eff={overlay_record.metrics['d_eff']:.2f}, "
+    f"u_eff={overlay_record.metrics['u_eff']:.4f} — the sparse graph "
+    "pays path length but keeps the skew within its derived bound."
+)
+print("all scenario-registry guarantees held")

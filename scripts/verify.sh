@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite plus the docs freshness
+# check (regenerating docs/EXPERIMENTS.md must produce no diff).
+# CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+python benchmarks/generate_experiments_md.py --check

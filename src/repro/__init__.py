@@ -20,7 +20,15 @@ Package map:
   Byzantine behaviours, signature-knowledge enforcement);
 * :mod:`repro.crypto` — symbolic unforgeable signatures and PKI;
 * :mod:`repro.baselines` — Lynch-Welch, signed-relay, chain-relay;
-* :mod:`repro.analysis` — metrics, theory bounds, experiments E1-E10.
+* :mod:`repro.scenarios` — the scenario registry: adversaries, delay
+  policies, topologies, and drift profiles under stable string keys;
+* :mod:`repro.campaigns` — declarative sweep campaigns: per-scale
+  grids, parallel execution, content-addressed result caching;
+* :mod:`repro.analysis` — metrics, theory bounds, experiments E1-E10,
+  ablations A1-A3, and the STRESS campaign.
+
+See ``docs/ARCHITECTURE.md`` for the package-to-paper mapping and the
+generated ``docs/EXPERIMENTS.md`` for the experiment catalog.
 """
 
 from repro.analysis.metrics import PulseReport

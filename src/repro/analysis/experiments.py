@@ -1,13 +1,16 @@
-"""Experiments E1-E10 and ablations A1-A3 (see DESIGN.md section 5).
+"""Experiments E1-E10, ablations A1-A3, and the STRESS campaign.
 
 The paper is a theory paper without an empirical section, so each
 experiment operationalizes one stated claim (theorem/lemma/corollary) or
 one comparison from the introduction.  Every function returns a
-:class:`~repro.analysis.reporting.Table`; benchmarks, the CLI, and
-``EXPERIMENTS.md`` all render these.
+:class:`~repro.analysis.reporting.Table`; benchmarks, the CLI, and the
+generated ``docs/EXPERIMENTS.md`` all render these.
 
-``scale="quick"`` keeps runtimes in seconds (CI-friendly); ``scale="full"``
-covers wider sweeps.
+``scale="quick"`` keeps runtimes in seconds (CI-friendly);
+``scale="full"`` covers wider sweeps.  The campaign-ported experiments
+(E1/E4/E5/E6, plus the registry-driven STRESS campaign) additionally
+accept any scale a spec declares a tier for — E5 and STRESS define
+``"stress"`` tiers whose cases name scenario-registry entries.
 """
 
 from __future__ import annotations
@@ -407,7 +410,14 @@ _E5_N = 9
 
 
 def e5_campaign() -> CampaignSpec:
-    """The E5 grid: fault count crossed with {CPS, Lynch-Welch}."""
+    """The E5 grid: fault count crossed with {CPS, Lynch-Welch}.
+
+    The ``stress`` tier additionally crosses the grid with registry-named
+    delay policies — the same resilience question asked under an eclipse
+    and a flickering partition instead of only the static timing split.
+    """
+    f_axis = tuple(range(max_faults(_E5_N) + 1))
+    algorithms = ("CPS", "Lynch-Welch")
     return CampaignSpec(
         name="E5",
         description="Resilience range (CPS vs Lynch-Welch)",
@@ -422,27 +432,41 @@ def e5_campaign() -> CampaignSpec:
                     "seed": 5,
                 },
                 axes={
-                    "*": {
-                        "f": tuple(range(max_faults(_E5_N) + 1)),
-                        "algorithm": ("CPS", "Lynch-Welch"),
-                    }
+                    "*": {"f": f_axis, "algorithm": algorithms},
+                    "stress": {
+                        "f": f_axis,
+                        "algorithm": algorithms,
+                        "delay": (
+                            "skewing",
+                            "eclipse",
+                            "flicker-partition",
+                        ),
+                    },
                 },
             ),
         ),
         measurements={
             "quick": MeasurementSpec(pulses=30, warmup=8),
             "full": MeasurementSpec(pulses=60, warmup=8),
+            "stress": MeasurementSpec(pulses=40, warmup=8),
         },
     )
 
 
 def e5_table(run: CampaignRun) -> Table:
-    """Assemble the E5 table from campaign trial records."""
+    """Assemble the E5 table from campaign trial records.
+
+    Stress-tier records carry a registry-named ``delay`` case key; the
+    extra column appears only then, so quick/full tables stay
+    byte-identical to the pre-registry output.
+    """
+    with_delay = any("delay" in record.case for record in run.records)
     table = Table(
         "E5 — Resilience range (CPS vs Lynch-Welch)",
         [
             "f",
             "algorithm",
+            *(["delay"] if with_delay else []),
             "tolerated by design",
             "max skew",
             "steady skew",
@@ -457,6 +481,7 @@ def e5_table(run: CampaignRun) -> Table:
         table.add_row(
             record.case["f"],
             record.case["algorithm"],
+            *([record.case.get("delay", "skewing")] if with_delay else []),
             m.get("tolerated", False),
             m.get("max_skew", float("inf")),
             m.get("steady_skew", float("inf")),
@@ -958,6 +983,170 @@ def a3_send_offset(scale: str = "quick") -> Table:
 
 
 # ======================================================================
+# STRESS — registry-driven scenario campaign
+# ======================================================================
+
+
+def stress_campaign() -> CampaignSpec:
+    """Scenario-registry cross products: adversary x delay x drift, plus
+    sparse topologies through the Appendix A overlay.
+
+    Every axis value is a scenario-registry key (validated at plan
+    time), so extending the stress surface is a registry entry plus one
+    tuple element here — no builder code changes.
+    """
+    return CampaignSpec(
+        name="STRESS",
+        description=(
+            "Registry-driven stress scenarios "
+            "(adversary x delay x drift x topology)"
+        ),
+        seed=17,
+        scenarios=(
+            ScenarioSpec(
+                builder="cps-stress",
+                base={"d": 1.0, "u": 0.02, "theta": 1.001},
+                axes={
+                    "quick": {
+                        "n": (6,),
+                        "adversary": (
+                            "coordinated-offset",
+                            "mimic-split",
+                        ),
+                        "delay": ("eclipse", "skewing"),
+                        "drift": ("mixed",),
+                    },
+                    "full": {
+                        "n": (6, 9),
+                        "adversary": (
+                            "silent",
+                            "mimic-split",
+                            "equivocating-subset",
+                            "coordinated-offset",
+                            "replay",
+                        ),
+                        "delay": (
+                            "skewing",
+                            "eclipse",
+                            "flicker-partition",
+                            "random",
+                        ),
+                        "drift": ("extreme", "mixed", "staggered"),
+                    },
+                    "stress": {
+                        "n": (9, 16, 25),
+                        "adversary": (
+                            "silent",
+                            "mimic-split",
+                            "equivocating-subset",
+                            "coordinated-offset",
+                            "replay",
+                            "rushing-echo",
+                        ),
+                        "delay": (
+                            "skewing",
+                            "eclipse",
+                            "flicker-partition",
+                            "biased-partition",
+                            "random",
+                        ),
+                        "drift": ("extreme", "mixed", "staggered"),
+                    },
+                },
+            ),
+            ScenarioSpec(
+                builder="cps-stress",
+                base={
+                    "d": 1.0,
+                    "u": 0.02,
+                    "theta": 1.001,
+                    "adversary": "silent",
+                    "delay": "random",
+                    "drift": "random",
+                },
+                axes={
+                    "quick": {
+                        "n": (8,),
+                        "topology": ("circulant", "random-regular"),
+                    },
+                    "full": {
+                        "n": (8, 12),
+                        "topology": (
+                            "complete",
+                            "circulant",
+                            "random-regular",
+                            "small-world",
+                        ),
+                    },
+                    "stress": {
+                        "n": (12, 16),
+                        "topology": (
+                            "complete",
+                            "circulant",
+                            "random-regular",
+                            "small-world",
+                        ),
+                    },
+                },
+            ),
+        ),
+        measurements={
+            "quick": MeasurementSpec(pulses=8, warmup=3),
+            "full": MeasurementSpec(pulses=15, warmup=5),
+            "stress": MeasurementSpec(pulses=25, warmup=5),
+        },
+    )
+
+
+def stress_table(run: CampaignRun) -> Table:
+    """Assemble the STRESS table from campaign trial records."""
+    table = Table(
+        "STRESS — registry-driven scenarios "
+        "(adversary x delay x drift x topology)",
+        [
+            "n",
+            "f",
+            "topology",
+            "adversary",
+            "delay",
+            "drift",
+            "max skew",
+            "steady skew",
+            "bound S",
+            "within",
+            "live",
+        ],
+    )
+    for record in run.records:
+        case = record.case
+        m = record.metrics
+        table.add_row(
+            case["n"],
+            m.get("f", float("nan")),
+            case.get("topology", "-"),
+            case.get("adversary", "silent"),
+            case.get("delay", "maximum"),
+            case.get("drift", "random"),
+            m.get("max_skew", float("inf")),
+            m.get("steady_skew", float("inf")),
+            m.get("bound_S", float("nan")),
+            m.get("within", False),
+            m.get("live", False),
+        )
+    table.add_note(
+        "Every scenario axis value is a registry key (repro scenarios "
+        "list); topology rows run CPS on the Appendix A overlay and "
+        "compare against the overlay-derived bound."
+    )
+    return table
+
+
+def stress_scenarios(scale: str = "quick") -> Table:
+    """Registry-named adversary/delay/drift/topology cross products."""
+    return stress_table(execute_campaign(stress_campaign(), scale=scale))
+
+
+# ======================================================================
 # Registry
 # ======================================================================
 
@@ -975,6 +1164,7 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "A1": a1_no_echo_rejection,
     "A2": a2_discard_rule,
     "A3": a3_send_offset,
+    "STRESS": stress_scenarios,
 }
 
 
@@ -993,7 +1183,8 @@ def run_experiment(name: str, scale: str = "quick") -> Table:
 # E1/E4/E5/E6 are ported to the campaign engine: their grids are
 # declarative specs, so ``repro campaign run E4 --workers 8`` executes
 # the same trials in parallel (with optional result-store caching) and
-# renders the identical table.
+# renders the identical table.  STRESS is campaign-native: its grid is
+# built entirely from scenario-registry keys.
 CAMPAIGN_PORTS = tuple(
     register_campaign(
         CampaignDefinition(
@@ -1008,5 +1199,6 @@ CAMPAIGN_PORTS = tuple(
         (e4_campaign, e4_table),
         (e5_campaign, e5_table),
         (e6_campaign, e6_table),
+        (stress_campaign, stress_table),
     )
 )

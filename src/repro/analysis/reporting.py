@@ -1,7 +1,8 @@
 """Plain-text tables and CSV output (no external dependencies).
 
 Every experiment returns a :class:`Table`; benchmarks print it, the CLI
-shows it, and ``EXPERIMENTS.md`` embeds rendered copies.
+shows it, and the benchmark harness persists CSV snapshots
+(``docs/EXPERIMENTS.md`` catalogs how to regenerate each table).
 """
 
 from __future__ import annotations
@@ -83,7 +84,7 @@ class Table:
             writer.writerows(self.rows)
 
     def to_markdown(self, precision: int = 6) -> str:
-        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+        """GitHub-flavoured markdown rendering (for generated docs)."""
         header = "| " + " | ".join(str(c) for c in self.columns) + " |"
         rule = "|" + "|".join("---" for _ in self.columns) + "|"
         lines = [header, rule]

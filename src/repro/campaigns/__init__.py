@@ -15,7 +15,13 @@ The subsystem splits a sweep into four orthogonal layers:
     group-by/statistics helpers reducing trial records into
     :class:`~repro.analysis.reporting.Table` rows.
 
-Named campaigns (the ported experiments E1/E4/E5/E6) register here via
+Scenario-typed case values (``adversary``/``delay``/``topology``/
+``drift``) name entries of the scenario registry
+(:mod:`repro.scenarios`) and are validated at plan time — see
+:data:`~repro.campaigns.spec.SCENARIO_CASE_KEYS`.
+
+Named campaigns (the ported experiments E1/E4/E5/E6 plus the
+registry-driven STRESS campaign) register here via
 :func:`register_campaign`; ``repro campaign run E4 --workers 8`` then
 executes the same grid that ``repro run E4`` renders, across all cores.
 """
@@ -49,6 +55,7 @@ from repro.campaigns.executor import (
     run_trial,
 )
 from repro.campaigns.spec import (
+    SCENARIO_CASE_KEYS,
     CampaignSpec,
     MeasurementSpec,
     ScenarioSpec,
@@ -57,6 +64,7 @@ from repro.campaigns.spec import (
     derive_seed,
     scales_of,
     stable_hash,
+    validate_scenario_names,
 )
 from repro.campaigns.store import ResultStore
 
@@ -105,6 +113,7 @@ def campaign_definition(name: str) -> CampaignDefinition:
 __all__ = [
     "BUILDERS",
     "CATALOG",
+    "SCENARIO_CASE_KEYS",
     "CampaignDefinition",
     "CampaignRun",
     "CampaignSpec",
@@ -132,5 +141,6 @@ __all__ = [
     "scales_of",
     "stable_hash",
     "summary_stats",
+    "validate_scenario_names",
     "value_of",
 ]

@@ -3,7 +3,7 @@
 The executor yields flat :class:`~repro.campaigns.executor.TrialRecord`
 lists; experiments group them, pull case/metric values, and emit the
 same :class:`~repro.analysis.reporting.Table` objects the CLI,
-benchmarks, and ``EXPERIMENTS.md`` already render.
+benchmarks, and CSV snapshots already render.
 """
 
 from __future__ import annotations

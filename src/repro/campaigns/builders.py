@@ -14,9 +14,16 @@ multiprocessing start method.  Register your own with
 ``"package.module:function"`` name, which is imported on demand.
 
 The built-in builders carry the measurement logic of experiments E1
-(APA convergence), E4 (CPS skew), E5 (resilience range), and E6
-(baseline comparison); ``analysis/experiments.py`` declares the grids
-and assembles the tables.
+(APA convergence), E4 (CPS skew), E5 (resilience range), E6 (baseline
+comparison), and the registry-driven stress tier (``cps-stress``);
+``analysis/experiments.py`` declares the grids and assembles the
+tables.
+
+Scenario-typed case keys (``adversary``, ``delay``, ``topology``,
+``drift``) are resolved through the scenario registry
+(:mod:`repro.scenarios`), so a case names behaviours by stable string
+key instead of constructing objects — and a typo fails at plan time
+with a did-you-mean hint.
 """
 
 from __future__ import annotations
@@ -24,6 +31,8 @@ from __future__ import annotations
 import importlib
 import math
 from typing import Any, Callable, Dict, List, Tuple
+
+import networkx as nx
 
 from repro.analysis import theory
 from repro.analysis.runner import TrialOutcome, run_pulse_trial
@@ -43,22 +52,17 @@ from repro.baselines.srikanth_toueg import (
     build_st_simulation,
     derive_st_parameters,
 )
+from repro import scenarios
 from repro.campaigns.spec import MeasurementSpec
-from repro.core.attacks import (
-    CpsEquivocatingSubsetAttack,
-    CpsMimicDealerAttack,
-)
+from repro.core.attacks import timing_split_group
 from repro.core.cps import build_cps_simulation
 from repro.core.params import derive_parameters, max_faults
-from repro.sim.adversary import SilentAdversary
-from repro.sim.clocks import HardwareClock
-from repro.sim.network import SkewingDelayPolicy
-from repro.sync.approx_agreement import (
-    ApaEquivocatingAdversary,
-    ApaExtremeAdversary,
-    ApaSplitAdversary,
-    run_apa,
+from repro.core.topology import (
+    simulate_full_connectivity,
+    uniform_timings,
 )
+from repro.sim.clocks import HardwareClock
+from repro.sync.approx_agreement import run_apa
 
 TrialBuilder = Callable[[Dict[str, Any], MeasurementSpec, int], Dict[str, Any]]
 
@@ -99,25 +103,29 @@ def resolve_builder(name: str) -> TrialBuilder:
 
 def cps_group_a(n: int) -> List[int]:
     """The even-id half used as "group A" by the timing-split attacks."""
-    return [v for v in range(n) if v % 2 == 0]
+    return timing_split_group(n)
 
 
 #: Adversary factories for CPS sweeps, keyed by the names used in the
-#: E4/E9 tables.  Each takes the derived protocol parameters.
+#: E4/E9 tables.  Each takes the derived protocol parameters.  Backed
+#: by the scenario registry; the explicit key order preserves the
+#: historical table row order.
 CPS_ADVERSARIES: Dict[str, Callable[[Any], Any]] = {
-    "silent": lambda params: SilentAdversary(),
-    "mimic-split": lambda params: CpsMimicDealerAttack(
-        params, cps_group_a(params.n)
-    ),
-    "equivocating-subset": lambda params: CpsEquivocatingSubsetAttack(
-        params
-    ),
+    key: (
+        lambda params, _key=key: scenarios.create(
+            "adversary", _key, params
+        )
+    )
+    for key in ("silent", "mimic-split", "equivocating-subset")
 }
 
+#: Round-model adversary factories for the APA sweeps (E1), keyed by
+#: the names used in the tables.  Registry-backed like the above.
 APA_ADVERSARIES: Dict[str, Callable[[], Any]] = {
-    "extreme-values": lambda: ApaExtremeAdversary(-1000.0, 1000.0),
-    "split-bot": lambda: ApaSplitAdversary(-1000.0, 1000.0),
-    "equivocating": lambda: ApaEquivocatingAdversary(-1000.0, 1000.0),
+    key: (
+        lambda _key=key: scenarios.create("adversary", _key, None)
+    )
+    for key in ("extreme-values", "split-bot", "equivocating")
 }
 
 
@@ -138,6 +146,14 @@ def _skew_metrics(outcome: TrialOutcome) -> Tuple[float, float]:
     if outcome.report is None:
         return float("inf"), float("inf")
     return outcome.report.max_skew, outcome.report.steady_skew
+
+
+def case_delay_policy(case: Dict[str, Any], n: int, default: str = "skewing"):
+    """Resolve the case's ``delay`` key through the scenario registry."""
+    return scenarios.create(
+        "delay", case.get("delay", default), n,
+        **case.get("delay_params", {})
+    )
 
 
 # ----------------------------------------------------------------------
@@ -203,7 +219,7 @@ def cps_skew_trial(
         params,
         faulty=faulty,
         behavior=behavior,
-        delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+        delay_policy=case_delay_policy(case, n),
         seed=seed,
         clock_style=case.get("clock_style", "extreme"),
     )
@@ -253,17 +269,20 @@ def resilience_trial(
     f = case["f"]
     algorithm = case["algorithm"]
     faulty = list(range(n - f, n)) if f else []
+    delay_policy = case_delay_policy(case, n)
     if algorithm == "CPS":
         params = derive_parameters(theta, d, u, n, f=max_faults(n))
         behavior = (
-            CpsMimicDealerAttack(params, cps_group_a(n)) if f else None
+            scenarios.create("adversary", "mimic-split", params)
+            if f
+            else None
         )
         simulation = build_cps_simulation(
             params,
             clocks=_extreme_clocks(params, n, theta),
             faulty=faulty,
             behavior=behavior,
-            delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+            delay_policy=delay_policy,
             seed=seed,
         )
         tolerated = f <= max_faults(n)
@@ -276,7 +295,7 @@ def resilience_trial(
             clocks=_extreme_clocks(params, n, theta),
             faulty=faulty,
             behavior=behavior,
-            delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+            delay_policy=delay_policy,
             seed=seed,
         )
         tolerated = f <= lw_max_faults(n)
@@ -319,8 +338,8 @@ def algorithm_comparison_trial(
         simulation = build_cps_simulation(
             params,
             faulty=faulty,
-            behavior=CpsMimicDealerAttack(params, cps_group_a(n)),
-            delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+            behavior=scenarios.create("adversary", "mimic-split", params),
+            delay_policy=case_delay_policy(case, n),
             seed=seed,
             clock_style="extreme",
         )
@@ -335,7 +354,7 @@ def algorithm_comparison_trial(
             behavior=(
                 LwTimingAttack(params, cps_group_a(n)) if f else None
             ),
-            delay_policy=SkewingDelayPolicy(cps_group_a(n)),
+            delay_policy=case_delay_policy(case, n),
             seed=seed,
         )
         theory_skew = params.S
@@ -368,4 +387,77 @@ def algorithm_comparison_trial(
         "theory_skew": theory_skew,
         "steady_skew": steady,
         "skew_over_d": steady / d,
+    }
+
+
+# ----------------------------------------------------------------------
+# Registry-driven stress trials: any adversary x delay x drift x topology
+# ----------------------------------------------------------------------
+
+
+@register_builder("cps-stress")
+def cps_stress_trial(
+    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
+) -> Dict[str, Any]:
+    """One CPS run fully assembled from scenario-registry keys.
+
+    The case names each behaviour by registry key — ``adversary``,
+    ``delay``, ``drift``, and optionally ``topology`` — with optional
+    ``*_params`` dicts forwarded to the factories.  Without a topology
+    the run uses the paper's base model (a clique with the given
+    ``d``/``u``); with one, the Appendix A translation is applied
+    first: the physical graph is overlaid with ``f + 1`` vertex-disjoint
+    paths per pair and CPS runs with the effective ``(d_eff, u_eff)``,
+    so the measured skew is compared against the *overlay's* bound.
+    """
+    n = case["n"]
+    theta = case.get("theta", 1.001)
+    d = case.get("d", 1.0)
+    u = case.get("u", 0.01)
+    topology_key = case.get("topology")
+    if topology_key is not None:
+        graph = scenarios.create(
+            "topology", topology_key, n,
+            **case.get("topology_params", {})
+        )
+        connectivity = nx.node_connectivity(graph)
+        f = case.get("f")
+        if f is None:
+            f = min(max_faults(n), connectivity - 1)
+        overlay = simulate_full_connectivity(
+            graph, uniform_timings(graph, d, u), f, theta=theta
+        )
+        params = overlay.derive_parameters(theta)
+        effective = {"d_eff": overlay.d_eff, "u_eff": overlay.u_eff}
+    else:
+        params = derive_parameters(theta, d, u, n, f=case.get("f"))
+        f = params.f
+        effective = {"d_eff": d, "u_eff": u}
+    faulty = list(range(n - f, n)) if f else []
+    behavior = scenarios.create(
+        "adversary", case.get("adversary", "silent"), params,
+        **case.get("adversary_params", {})
+    )
+    clocks = scenarios.create(
+        "drift", case.get("drift", "random"), params, seed,
+        **case.get("drift_params", {})
+    )
+    simulation = build_cps_simulation(
+        params,
+        clocks=clocks,
+        faulty=faulty,
+        behavior=behavior,
+        delay_policy=case_delay_policy(case, n, default="maximum"),
+        seed=seed,
+    )
+    outcome = measured_pulse_trial(simulation, measurement)
+    measured, steady = _skew_metrics(outcome)
+    return {
+        "f": f,
+        "max_skew": measured,
+        "steady_skew": steady,
+        "bound_S": params.S,
+        "within": steady <= params.S + 1e-9,
+        "live": outcome.live,
+        **effective,
     }

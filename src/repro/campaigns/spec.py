@@ -21,6 +21,12 @@ jobs that used to be scattered through ``analysis/experiments.py``:
    resume.  The spec key deliberately excludes the grid itself so that
    *extending* a grid resumes into the same store file and only the
    missing cases run.
+
+Scenario axes (``adversary``, ``delay``, ``topology``, ``drift``) name
+entries of the scenario registry (:mod:`repro.scenarios`); their string
+values are validated at plan time (:data:`SCENARIO_CASE_KEYS`), so a
+grid can reference any registered behaviour and a typo fails before a
+single trial runs.
 """
 
 from __future__ import annotations
@@ -35,6 +41,36 @@ CaseDict = Dict[str, Any]
 
 #: Fallback chain for per-scale lookups: exact scale, wildcard, "full".
 SCALE_FALLBACK: Tuple[str, ...] = ("*", "full")
+
+#: Case keys whose string values name scenario-registry entries; each
+#: maps to the registry kind it resolves against.  ``trials_for``
+#: validates these at plan time, so a misspelled scenario key fails
+#: with a did-you-mean hint before any trial executes.
+SCENARIO_CASE_KEYS: Dict[str, str] = {
+    "adversary": "adversary",
+    "delay": "delay",
+    "topology": "topology",
+    "drift": "drift",
+}
+
+
+def validate_scenario_names(case: Mapping[str, Any]) -> None:
+    """Check every scenario-typed case value against the registry.
+
+    Only string values are checked (non-registry experiment axes such
+    as E5's ``algorithm`` use their own names and other types pass
+    through untouched).  Raises
+    :class:`~repro.scenarios.registry.UnknownScenarioError` on the
+    first unknown key.
+    """
+    # Imported lazily: the spec layer is plain data and the registry
+    # pulls in protocol modules; only plan-time validation needs it.
+    from repro.scenarios import REGISTRY
+
+    for case_key, kind in SCENARIO_CASE_KEYS.items():
+        value = case.get(case_key)
+        if isinstance(value, str):
+            REGISTRY.get(kind, value)
 
 
 def canonical_json(value: Any) -> str:
@@ -190,6 +226,7 @@ class CampaignSpec:
         plans: List[TrialPlan] = []
         for scenario_index, scenario in enumerate(self.scenarios):
             for case in scenario.grid_for(scale):
+                validate_scenario_names(case)
                 seed = (
                     int(case["seed"])
                     if "seed" in case

@@ -20,15 +20,23 @@ Subcommands
     Execute a campaign through the sweep engine — serially or on a
     process pool — replaying cached trials from the result store, then
     print its table and execution summary.
+``scenarios list [--kind adversary|delay|topology|drift]``
+    Show the scenario registry: every adversary behaviour, delay
+    policy, topology, and drift profile a campaign case can name.
+``scenarios show eclipse`` / ``scenarios show delay:random``
+    Describe one entry: description, paper reference, parameters,
+    tags.  Qualify with ``kind:`` when a key exists in several kinds.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import os
 import sys
 from typing import List, Optional
 
+from repro import scenarios
 from repro.analysis import theory
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.campaigns import (
@@ -90,7 +98,7 @@ def _command_params(args: argparse.Namespace) -> int:
 def _command_campaign_list(_args: argparse.Namespace) -> int:
     for name in available_campaigns():
         definition = campaign_definition(name)
-        print(f"{name:<4} {definition.description}")
+        print(f"{name:<6} {definition.description}")
     return 0
 
 
@@ -146,6 +154,57 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         table.to_csv(args.csv)
         print(f"\nwrote {args.csv}")
     return 0 if run.failed == 0 else 1
+
+
+def _command_scenarios_list(args: argparse.Namespace) -> int:
+    entries = scenarios.entries(args.kind)
+    for entry in entries:
+        print(f"{entry.kind:<10} {entry.key:<22} {entry.description}")
+    kinds = args.kind or "/".join(scenarios.KINDS)
+    print(f"\n{len(entries)} registered scenarios ({kinds})")
+    return 0
+
+
+def _command_scenarios_show(args: argparse.Namespace) -> int:
+    key = args.key
+    if args.kind and ":" not in key:
+        key = f"{args.kind}:{key}"
+    matches = scenarios.find(key)
+    if not matches:
+        # Re-raise through the registry for the did-you-mean hint.
+        kind, _, bare = (
+            key.partition(":") if ":" in key else (args.kind, "", key)
+        )
+        if kind:
+            scenarios.get(kind, bare)
+        close = difflib.get_close_matches(
+            key, sorted(set(scenarios.keys())), n=1
+        )
+        hint = f" — did you mean {close[0]!r}?" if close else ""
+        raise scenarios.UnknownScenarioError(
+            f"unknown scenario {args.key!r}{hint} "
+            f"(try 'repro scenarios list')"
+        )
+    if len(matches) > 1:
+        names = ", ".join(entry.qualified for entry in matches)
+        raise SystemExit(
+            f"{args.key!r} is ambiguous: {names} "
+            f"(qualify as kind:key or pass --kind)"
+        )
+    entry = matches[0]
+    print(f"{entry.qualified} — {entry.description}")
+    if entry.paper_ref:
+        print(f"  paper      {entry.paper_ref}")
+    if entry.tags:
+        print(f"  tags       {', '.join(sorted(entry.tags))}")
+    if entry.params:
+        print("  parameters")
+        for spec in entry.params:
+            doc = f"  — {spec.doc}" if spec.doc else ""
+            print(f"    {spec.render()}{doc}")
+    else:
+        print("  parameters (none)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -241,6 +300,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", help="also write the table as CSV"
     )
     campaign_run_parser.set_defaults(handler=_command_campaign_run)
+
+    scenarios_parser = sub.add_parser(
+        "scenarios",
+        help="the scenario registry (adversaries, delays, topologies, "
+        "drift profiles)",
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+
+    scenarios_list_parser = scenarios_sub.add_parser(
+        "list", help="list registered scenarios"
+    )
+    scenarios_list_parser.add_argument(
+        "--kind", choices=scenarios.KINDS, default=None,
+        help="restrict to one scenario kind",
+    )
+    scenarios_list_parser.set_defaults(handler=_command_scenarios_list)
+
+    scenarios_show_parser = scenarios_sub.add_parser(
+        "show", help="describe one scenario entry"
+    )
+    scenarios_show_parser.add_argument(
+        "key", help="scenario key, optionally qualified as kind:key"
+    )
+    scenarios_show_parser.add_argument(
+        "--kind", choices=scenarios.KINDS, default=None,
+        help="disambiguate keys that exist in several kinds",
+    )
+    scenarios_show_parser.set_defaults(handler=_command_scenarios_show)
 
     return parser
 

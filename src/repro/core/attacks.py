@@ -13,7 +13,16 @@ the attack surfaces the paper's analysis is tight against:
 * :class:`CpsRushingEchoAttack` — *only* meaningful when faulty links may
   undercut the honest minimum delay (``u_tilde > u``): faulty nodes
   re-echo honest signatures so fast that honest broadcasts get rejected,
-  the attack behind the paper's Section 1 warning and Theorem 5.
+  the attack behind the paper's Section 1 warning and Theorem 5;
+* :class:`CpsCoordinatedOffsetAttack` — every faulty dealer presents the
+  *same* extreme apparent offset (optionally flipping direction each
+  round): where the mimic-split maximizes inconsistency between
+  receivers, this maximizes the coordinated bias the ⊥-aware midpoint
+  rule must absorb.
+
+All of these are registered in the scenario registry
+(:mod:`repro.scenarios`) under stable string keys, so campaign cases can
+name them declaratively.
 """
 
 from __future__ import annotations
@@ -25,6 +34,16 @@ from repro.core.params import ProtocolParameters
 from repro.sim.adversary import ByzantineBehavior, SilentAdversary
 from repro.sim.network import DelayPolicy
 from repro.sim.trace import DeliveryRecord
+
+
+def timing_split_group(n: int) -> list:
+    """The even-id half of the nodes, the canonical "group A".
+
+    Timing-split attacks and partition delay policies need *some*
+    bisection of the honest nodes; using the same one everywhere keeps
+    grids comparable across experiments.
+    """
+    return [v for v in range(n) if v % 2 == 0]
 
 
 class CpsMimicDealerAttack(ByzantineBehavior):
@@ -207,11 +226,78 @@ class FastToFaultyDelayPolicy(DelayPolicy):
         return "fast-to-faulty"
 
 
+class CpsCoordinatedOffsetAttack(ByzantineBehavior):
+    """All faulty dealers present one coordinated extreme apparent offset.
+
+    Every faulty node broadcasts its ``<r>`` message at the time an
+    honest dealer would and delivers it to *every* honest node with the
+    same delay, pinned ``offset_fraction`` of the way into the
+    admissible window.  Because all copies of a dealer's message arrive
+    with identical delay, honest receivers compute mutually consistent
+    estimates and never reject (Lemma 11's guard sees nothing wrong) —
+    but all ``f`` faulty estimates sit at the same extreme, so the
+    ⊥-aware midpoint of Figure 3 is dragged coherently instead of being
+    split.
+
+    With ``alternate=True`` the extreme flips every pulse round,
+    rocking the correction instead of pushing it steadily — the
+    oscillating variant stresses the Lemma 16 contraction rather than
+    the steady-state bias.
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        offset_fraction: float = 1.0,
+        alternate: bool = True,
+    ) -> None:
+        if not 0.0 <= offset_fraction <= 1.0:
+            raise ValueError(
+                f"offset_fraction must lie in [0, 1], "
+                f"got {offset_fraction}"
+            )
+        self.params = params
+        self.offset_fraction = offset_fraction
+        self.alternate = alternate
+        self._scheduled_rounds: Set[int] = set()
+
+    def on_pulse(self, ctx, node: int, index: int, time: float) -> None:
+        if index in self._scheduled_rounds:
+            return
+        self._scheduled_rounds.add(index)
+        ctx.wake_at(time + self.params.S, ("coordinated-send", index))
+
+    def on_wakeup(self, ctx, tag) -> None:
+        if not (isinstance(tag, tuple) and tag[0] == "coordinated-send"):
+            return
+        pulse_round = tag[1]
+        low, high = ctx.config.delay_bounds(False)
+        push_late = self.alternate and pulse_round % 2 == 1
+        span = high - low
+        if push_late:
+            delay = high - (1.0 - self.offset_fraction) * span
+        else:
+            delay = low + (1.0 - self.offset_fraction) * span
+        for src in sorted(ctx.faulty):
+            message = TcbMessage(
+                pulse_round, src, ctx.sign_as(src, tcb_tag(pulse_round))
+            )
+            for dst in ctx.honest:
+                ctx.send_from(src, dst, message, delay)
+
+    def describe(self) -> str:
+        flavor = "alternating" if self.alternate else "steady"
+        return (
+            f"coordinated-offset({flavor}, "
+            f"fraction={self.offset_fraction})"
+        )
+
+
 def cps_attack_catalog(
     params: ProtocolParameters,
 ) -> Dict[str, ByzantineBehavior]:
     """The standard attack suite used by the E4/E5 sweeps."""
-    half = [v for v in range(params.n) if v % 2 == 0]
+    half = timing_split_group(params.n)
     return {
         "silent": SilentAdversary(),
         "mimic-split": CpsMimicDealerAttack(params, half),

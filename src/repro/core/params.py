@@ -25,7 +25,7 @@ which is positive for ``theta < THETA_MAX ≈ 1.0795``.  (The paper's
 Corollary 4 quotes feasibility up to ``theta <= 1.11`` with the slightly
 different constant bookkeeping of its appendix; both are
 ``Theta(u + (theta - 1) d)`` and we document the difference in
-EXPERIMENTS.md.)  ``S`` also serves as the bound on initial clock offsets:
+docs/EXPERIMENTS.md.)  ``S`` also serves as the bound on initial clock offsets:
 CPS assumes ``H_v(0) in [0, S]``.
 """
 

@@ -264,6 +264,58 @@ def circulant(n: int, jumps: Iterable[int]) -> nx.Graph:
     return nx.circulant_graph(n, jumps)
 
 
+def random_regular(n: int, degree: int = 4, seed: int = 0) -> nx.Graph:
+    """A connected random ``degree``-regular graph.
+
+    Random regular graphs are asymptotically almost surely
+    ``degree``-connected, which makes them the natural "what does a
+    *typical* balanced sparse network buy us" counterpart to the
+    worst-case-designed circulant: with signatures they tolerate
+    ``f = degree - 1`` while every node keeps ``degree`` links.  Samples
+    are drawn with deterministic seeds and re-drawn (up to 64 times)
+    until one achieves full connectivity ``degree``, so the result is a
+    pure function of ``(n, degree, seed)``.
+    """
+    if n <= degree:
+        raise ConfigurationError(
+            f"random_regular needs n > degree, got n={n}, degree={degree}"
+        )
+    if (n * degree) % 2 != 0:
+        raise ConfigurationError(
+            f"n * degree must be even, got n={n}, degree={degree}"
+        )
+    for attempt in range(64):
+        graph = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(graph) and (
+            nx.node_connectivity(graph) == degree
+        ):
+            return graph
+    raise ConfigurationError(  # pragma: no cover - vanishing probability
+        f"no {degree}-connected {degree}-regular graph on {n} nodes "
+        f"found in 64 attempts from seed {seed}"
+    )
+
+
+def small_world(
+    n: int, k: int = 4, p: float = 0.25, seed: int = 0
+) -> nx.Graph:
+    """A connected Watts–Strogatz small-world graph.
+
+    Starts from a ring where each node links to its ``k`` nearest
+    neighbours and rewires each edge with probability ``p``.  Rewiring
+    shortens average path length (good for the overlay's ``d_eff``) but
+    *unbalances* the topology — exactly the regime where the paper's
+    closing warning bites: unbalanced path lengths inflate ``u_eff``
+    unless relays pad (see :func:`simulate_full_connectivity`).  The
+    sample is deterministic in ``(n, k, p, seed)``.
+    """
+    if k >= n:
+        raise ConfigurationError(
+            f"small_world needs k < n, got n={n}, k={k}"
+        )
+    return nx.connected_watts_strogatz_graph(n, k, p, tries=200, seed=seed)
+
+
 def uniform_timings(
     graph: nx.Graph, d: float, u: float
 ) -> Dict[Edge, LinkTiming]:

@@ -1,0 +1,65 @@
+"""Scenario registry: adversaries, delay policies, topologies, drift.
+
+Every behaviour a campaign can throw at a protocol — *who misbehaves*
+(adversary), *how the network delays messages* (delay), *what the
+physical network looks like* (topology), and *how hardware clocks
+drift* (drift) — registers here under a stable string key with metadata
+(description, paper reference, parameter schema).  Campaign cases name
+entries by key, which is what lets ``ScenarioSpec`` grids, the result
+store, the ``repro scenarios`` CLI, and the generated experiment docs
+all share one catalog:
+
+>>> from repro import scenarios
+>>> [e.key for e in scenarios.entries("topology")]
+['circulant', 'complete', 'random-regular', 'small-world']
+>>> policy = scenarios.create("delay", "eclipse", 6, victims=(0, 1))
+
+Importing this package imports the catalog modules, so the registry is
+fully populated as a side effect — the same pattern the campaign
+catalog uses.  Register your own entries with
+:func:`register_scenario`; unknown keys raise
+:class:`UnknownScenarioError` (with a did-you-mean hint) at campaign
+*plan* time, before any trial runs.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import (
+    KINDS,
+    REGISTRY,
+    ParamSpec,
+    ScenarioEntry,
+    ScenarioRegistry,
+    UnknownScenarioError,
+    register_scenario,
+)
+
+# Populate the registry: each import registers one kind's catalog.
+from repro.scenarios import adversaries  # noqa: E402,F401
+from repro.scenarios import delays  # noqa: E402,F401
+from repro.scenarios import drift  # noqa: E402,F401
+from repro.scenarios import topologies  # noqa: E402,F401
+
+#: Module-level conveniences bound to the process-wide registry.
+get = REGISTRY.get
+create = REGISTRY.create
+has = REGISTRY.has
+keys = REGISTRY.keys
+entries = REGISTRY.entries
+find = REGISTRY.find
+
+__all__ = [
+    "KINDS",
+    "REGISTRY",
+    "ParamSpec",
+    "ScenarioEntry",
+    "ScenarioRegistry",
+    "UnknownScenarioError",
+    "create",
+    "entries",
+    "find",
+    "get",
+    "has",
+    "keys",
+    "register_scenario",
+]

@@ -205,6 +205,63 @@ class SkewingDelayPolicy(DelayPolicy):
         return f"skewing(slow={sorted(self.slow_senders)})"
 
 
+class EclipseDelayPolicy(DelayPolicy):
+    """Starve a victim set of timely information.
+
+    Every message *to or from* a victim takes the maximum delay ``d``
+    while the rest of the network communicates at the minimum admissible
+    delay — the delay-model analogue of an eclipse attack.  The victims'
+    estimates of everyone else (and everyone's estimates of the victims)
+    are as stale as the model permits, while the non-victims converge
+    tightly among themselves.
+    """
+
+    def __init__(self, victims: Iterable[int]) -> None:
+        self.victims: Set[int] = set(victims)
+
+    def delay(self, config, src, dst, send_time, payload, link_is_honest):
+        low, high = config.delay_bounds(link_is_honest)
+        touched = src in self.victims or dst in self.victims
+        return high if touched else low
+
+    def describe(self) -> str:
+        return f"eclipse(victims={sorted(self.victims)})"
+
+
+class FlickeringPartitionDelayPolicy(DelayPolicy):
+    """A partition whose fast/slow orientation flips every ``period``.
+
+    During even phases (``floor(send_time / period)`` even) traffic
+    *within* each group is fast and cross-group traffic slow — the
+    :class:`BiasedPartitionDelayPolicy` worst case; during odd phases
+    the roles reverse.  A time-varying adversary like this probes the
+    *stability* of the synchronizer's correction loop rather than its
+    static steady state: the delay landscape changes faster than the
+    estimates that were made under the previous phase expire.
+    """
+
+    def __init__(self, group_a: Iterable[int], period: float) -> None:
+        if period <= 0:
+            raise ConfigurationError(
+                f"period must be positive, got {period}"
+            )
+        self.group_a: Set[int] = set(group_a)
+        self.period = period
+
+    def delay(self, config, src, dst, send_time, payload, link_is_honest):
+        low, high = config.delay_bounds(link_is_honest)
+        same_group = (src in self.group_a) == (dst in self.group_a)
+        phase = int(send_time // self.period) % 2
+        fast = same_group if phase == 0 else not same_group
+        return low if fast else high
+
+    def describe(self) -> str:
+        return (
+            f"flicker(group_a={sorted(self.group_a)}, "
+            f"period={self.period})"
+        )
+
+
 class PerLinkDelayPolicy(DelayPolicy):
     """Explicit per-link delays with a fallback policy.
 

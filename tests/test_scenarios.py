@@ -1,0 +1,329 @@
+"""Scenario registry: catalog, lookups, campaign round-trip, CLI.
+
+The satellite guarantees under test:
+
+* the registry holds every ported entry plus the new scenarios, with
+  metadata, and unknown keys raise with a did-you-mean hint;
+* every registered delay policy emits model-admissible delays, every
+  topology meets its advertised connectivity, every drift profile
+  satisfies the paper's clock assumptions;
+* a ``ScenarioSpec`` naming registry entries round-trips through the
+  campaign executor (including store replay), and a misspelled key
+  fails at *plan* time;
+* ``repro scenarios list/show`` renders the catalog.
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.campaigns import (
+    CampaignSpec,
+    MeasurementSpec,
+    ResultStore,
+    ScenarioSpec,
+    campaign_definition,
+    execute_campaign,
+)
+from repro.cli import main
+from repro.core.params import derive_parameters
+from repro.scenarios import UnknownScenarioError
+from repro.sim.clocks import EPS
+from repro.sim.network import NetworkConfig
+
+
+PARAMS = derive_parameters(1.001, 1.0, 0.01, 6)
+
+
+# ----------------------------------------------------------------------
+# Catalog contents and lookup semantics
+# ----------------------------------------------------------------------
+
+
+class TestCatalog:
+    def test_registry_is_populated(self):
+        assert len(scenarios.REGISTRY) >= 12
+        for kind in scenarios.KINDS:
+            assert scenarios.entries(kind), f"no {kind} entries"
+
+    def test_ported_entries_present(self):
+        for key in ("silent", "replay", "mimic-split",
+                    "equivocating-subset", "rushing-echo",
+                    "extreme-values", "split-bot", "equivocating"):
+            assert scenarios.has("adversary", key), key
+        for key in ("maximum", "minimum", "constant-fraction", "random",
+                    "biased-partition", "skewing", "fast-to-faulty"):
+            assert scenarios.has("delay", key), key
+        for key in ("complete", "circulant"):
+            assert scenarios.has("topology", key), key
+        for key in ("random", "extreme"):
+            assert scenarios.has("drift", key), key
+
+    def test_new_scenarios_present(self):
+        new = [
+            entry.qualified
+            for entry in scenarios.entries()
+            if "new" in entry.tags
+        ]
+        assert len(new) >= 6, new
+
+    def test_unknown_key_raises_with_suggestion(self):
+        with pytest.raises(UnknownScenarioError, match="did you mean"):
+            scenarios.get("delay", "eclipse-")
+        with pytest.raises(UnknownScenarioError, match="registered"):
+            scenarios.get("adversary", "no-such-behaviour")
+
+    def test_unknown_kind_rejected_at_registration(self):
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            scenarios.register_scenario(
+                "weather", "sunny", description="not a kind"
+            )
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            scenarios.register_scenario(
+                "delay", "maximum", description="dup"
+            )(lambda n=None: None)
+
+    def test_find_is_kind_qualified(self):
+        assert len(scenarios.find("random")) == 2  # delay and drift
+        assert [e.kind for e in scenarios.find("delay:random")] == [
+            "delay"
+        ]
+        assert scenarios.find("nope") == []
+
+    def test_entries_carry_metadata(self):
+        entry = scenarios.get("delay", "eclipse")
+        assert entry.description
+        assert entry.paper_ref
+        assert entry.params[0].name == "victims"
+
+    def test_factory_overrides_apply(self):
+        policy = scenarios.create("delay", "eclipse", 6, victims=(1, 2))
+        assert policy.victims == {1, 2}
+        with pytest.raises(TypeError):
+            scenarios.create("delay", "eclipse", 6, nonsense=1)
+
+
+# ----------------------------------------------------------------------
+# Semantic checks per kind
+# ----------------------------------------------------------------------
+
+
+class TestDelayEntries:
+    @pytest.mark.parametrize(
+        "key", [e.key for e in scenarios.entries("delay")]
+    )
+    def test_all_delay_policies_emit_admissible_delays(self, key):
+        config = NetworkConfig(n=6, d=1.0, u=0.05)
+        policy = scenarios.create("delay", key, 6)
+        for src, dst in ((0, 1), (1, 2), (0, 5), (4, 3)):
+            for send_time in (0.0, 3.7, 12.5, 100.0):
+                for honest in (True, False):
+                    delay = policy.delay(
+                        config, src, dst, send_time, None, honest
+                    )
+                    low, high = config.delay_bounds(honest)
+                    assert low - EPS <= delay <= high + EPS
+
+    def test_eclipse_semantics(self):
+        config = NetworkConfig(n=4, d=1.0, u=0.2)
+        policy = scenarios.create("delay", "eclipse", 4, victims=(0,))
+        low, high = config.delay_bounds(True)
+        assert policy.delay(config, 0, 1, 0.0, None, True) == high
+        assert policy.delay(config, 2, 0, 0.0, None, True) == high
+        assert policy.delay(config, 2, 3, 0.0, None, True) == low
+
+    def test_flicker_partition_flips_with_time(self):
+        config = NetworkConfig(n=4, d=1.0, u=0.2)
+        policy = scenarios.create(
+            "delay", "flicker-partition", 4, period=5.0
+        )
+        low, high = config.delay_bounds(True)
+        # 0 and 2 share a group: fast in phase 0, slow in phase 1.
+        assert policy.delay(config, 0, 2, 1.0, None, True) == low
+        assert policy.delay(config, 0, 2, 6.0, None, True) == high
+        # Cross-group is the mirror image.
+        assert policy.delay(config, 0, 1, 1.0, None, True) == high
+        assert policy.delay(config, 0, 1, 6.0, None, True) == low
+
+
+class TestTopologyEntries:
+    def test_topologies_meet_advertised_connectivity(self):
+        import networkx as nx
+
+        for key, kwargs, minimum in (
+            ("complete", {}, 7),
+            ("circulant", {}, 4),
+            ("random-regular", {"degree": 4}, 4),
+            ("small-world", {"k": 4}, 1),
+        ):
+            graph = scenarios.create("topology", key, 8, **kwargs)
+            assert graph.number_of_nodes() == 8
+            assert nx.is_connected(graph)
+            assert nx.node_connectivity(graph) >= minimum, key
+
+    def test_random_regular_is_deterministic_in_seed(self):
+        a = scenarios.create("topology", "random-regular", 10, seed=3)
+        b = scenarios.create("topology", "random-regular", 10, seed=3)
+        assert sorted(a.edges) == sorted(b.edges)
+
+
+class TestDriftEntries:
+    @pytest.mark.parametrize(
+        "key", [e.key for e in scenarios.entries("drift")]
+    )
+    def test_all_profiles_satisfy_model_assumptions(self, key):
+        clocks = scenarios.create("drift", key, PARAMS, 7)
+        assert len(clocks) == PARAMS.n
+        for clock in clocks:
+            # Construction validates rates against theta; check offsets.
+            assert -EPS <= clock.offset_at_zero <= PARAMS.S + EPS
+
+    def test_profiles_are_deterministic_in_seed(self):
+        a = scenarios.create("drift", "mixed", PARAMS, 5)
+        b = scenarios.create("drift", "mixed", PARAMS, 5)
+        assert [c.local_time(13.7) for c in a] == [
+            c.local_time(13.7) for c in b
+        ]
+
+
+# ----------------------------------------------------------------------
+# Campaign round-trip with registry-named scenarios
+# ----------------------------------------------------------------------
+
+
+def _registry_spec(adversaries=("silent", "coordinated-offset")):
+    return CampaignSpec(
+        name="registry-roundtrip",
+        seed=11,
+        scenarios=(
+            ScenarioSpec(
+                builder="cps-stress",
+                base={"n": 5, "u": 0.02, "drift": "staggered"},
+                axes={
+                    "*": {
+                        "adversary": adversaries,
+                        "delay": ("eclipse", "flicker-partition"),
+                    }
+                },
+            ),
+        ),
+        measurements={"*": MeasurementSpec(pulses=4, warmup=1)},
+    )
+
+
+class TestRegistryCampaignRoundTrip:
+    def test_executes_and_stays_within_bound(self):
+        run = execute_campaign(_registry_spec())
+        assert run.failed == 0
+        assert len(run.records) == 4
+        for record in run.records:
+            assert record.metrics["live"]
+            assert record.metrics["within"]
+
+    def test_store_replay_is_byte_stable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _registry_spec()
+        live = execute_campaign(spec, store=store)
+        replay = execute_campaign(spec, store=store)
+        assert replay.executed == 0 and replay.cached == 4
+        assert [r.metrics for r in live.records] == [
+            r.metrics for r in replay.records
+        ]
+
+    def test_unknown_scenario_key_fails_at_plan_time(self):
+        spec = _registry_spec(adversaries=("silentt",))
+        with pytest.raises(UnknownScenarioError, match="did you mean"):
+            spec.trials_for("quick")
+
+    def test_topology_case_runs_overlay(self):
+        spec = CampaignSpec(
+            name="overlay",
+            scenarios=(
+                ScenarioSpec(
+                    builder="cps-stress",
+                    base={
+                        "n": 7,
+                        "u": 0.01,
+                        "topology": "circulant",
+                        "delay": "random",
+                    },
+                ),
+            ),
+            measurements={"*": MeasurementSpec(pulses=3, warmup=1)},
+        )
+        run = execute_campaign(spec)
+        assert run.failed == 0
+        (record,) = run.records
+        assert record.metrics["d_eff"] > 1.0  # multi-hop overlay
+        assert record.metrics["live"]
+
+
+class TestStressCampaign:
+    def test_registered_and_quick_tier_clean(self):
+        definition = campaign_definition("STRESS")
+        run = execute_campaign(definition.spec(), scale="quick")
+        assert run.failed == 0
+        table = definition.tabulate(run)
+        assert any(table.column("live"))
+
+    def test_e5_stress_tier_names_registry_delays(self):
+        spec = campaign_definition("E5").spec()
+        delays = {
+            plan.case["delay"] for plan in spec.trials_for("stress")
+        }
+        assert delays == {"skewing", "eclipse", "flicker-partition"}
+        for key in delays:
+            assert scenarios.has("delay", key)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestScenariosCli:
+    def test_list_shows_all_kinds_and_count(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("coordinated-offset", "eclipse", "small-world",
+                    "staggered"):
+            assert key in out
+        assert f"{len(scenarios.REGISTRY)} registered scenarios" in out
+        assert len(scenarios.REGISTRY) >= 12
+
+    def test_list_kind_filter(self, capsys):
+        assert main(["scenarios", "list", "--kind", "topology"]) == 0
+        out = capsys.readouterr().out
+        assert "small-world" in out
+        assert "eclipse" not in out
+
+    def test_show_renders_metadata(self, capsys):
+        assert main(["scenarios", "show", "eclipse"]) == 0
+        out = capsys.readouterr().out
+        assert "delay:eclipse" in out
+        assert "victims=None" in out
+        assert "paper" in out
+
+    def test_show_ambiguous_key_requires_kind(self, capsys):
+        with pytest.raises(SystemExit, match="ambiguous"):
+            main(["scenarios", "show", "random"])
+        assert main(
+            ["scenarios", "show", "random", "--kind", "drift"]
+        ) == 0
+        assert "drift:random" in capsys.readouterr().out
+
+    def test_show_unknown_key_raises_with_hint(self):
+        with pytest.raises(UnknownScenarioError, match="did you mean"):
+            main(["scenarios", "show", "delay:eclipsee"])
+
+    def test_show_unknown_bare_key_also_hints(self):
+        with pytest.raises(
+            UnknownScenarioError, match="coordinated-offset"
+        ):
+            main(["scenarios", "show", "cordinated-offset"])
+
+    def test_run_stress_experiment_renders_table(self, capsys):
+        assert main(["run", "STRESS"]) == 0
+        out = capsys.readouterr().out
+        assert "registry-driven scenarios" in out
