@@ -11,7 +11,7 @@ Topology rows are checked against the *overlay* bound instead.
 (n up to 25, six adversaries, five delay policies).
 """
 
-from conftest import SCALE, bench_campaign
+from conftest import bench_campaign
 
 
 def test_stress_scenarios(benchmark, capsys):

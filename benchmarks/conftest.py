@@ -8,6 +8,13 @@ see the generated ``docs/EXPERIMENTS.md``).  Run with::
 
 Set ``REPRO_BENCH_SCALE=full`` for the wide sweeps.
 
+The harness imports :mod:`repro` from the installed package (CI runs
+``pip install -e .``); no ``sys.path`` manipulation happens here, and
+the ``repro`` imports are deferred into the helpers so pytest can at
+least collect (and report a clean import error for) the bench files in
+an environment where the package is missing.  For an uninstalled
+checkout, ``scripts/verify.sh`` exports ``PYTHONPATH=src``.
+
 ``REPRO_BENCH_SCALE`` and campaign grids
 ----------------------------------------
 
@@ -26,16 +33,14 @@ the serial and process-pool executors and records the speedup.
 
 import os
 
-import pytest
-
-from repro.analysis.experiments import run_experiment
-
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 
 
 def bench_experiment(benchmark, capsys, name: str):
     """Benchmark one experiment and print/persist its table."""
+    from repro.analysis.experiments import run_experiment
+
     table = benchmark.pedantic(
         run_experiment,
         args=(name,),

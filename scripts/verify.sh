@@ -1,11 +1,29 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full test suite plus the docs freshness
 # check (regenerating docs/EXPERIMENTS.md must produce no diff).
-# CI runs exactly this script; run it locally before pushing.
+#
+# CI's verify matrix and local pre-push share this entry point:
+#
+#   ./scripts/verify.sh          # tests + docs freshness
+#   ./scripts/verify.sh --fast   # tests only (matrix jobs / quick loops;
+#                                # docs freshness is version-independent
+#                                # and runs once on the full entry)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+# No-op where the package is pip-installed (CI); lets uninstalled
+# checkouts run the suite straight from the source tree.
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q
-python benchmarks/generate_experiments_md.py --check
+if [[ "$FAST" -eq 0 ]]; then
+  python benchmarks/generate_experiments_md.py --check
+fi

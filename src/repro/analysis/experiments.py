@@ -18,8 +18,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict
 
-from repro.analysis import theory
-from repro.analysis import metrics
+from repro.analysis import metrics, theory
 from repro.analysis.reporting import Table
 from repro.analysis.runner import run_pulse_trial
 from repro.baselines.lynch_welch import lw_max_faults
@@ -43,10 +42,9 @@ from repro.core.attacks import (
     CpsRushingEchoAttack,
     FastToFaultyDelayPolicy,
 )
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import CpsNode, build_cps_simulation
 from repro.core.lower_bound import FixedPeriodProtocol, run_lower_bound
 from repro.core.params import derive_parameters, max_faults
-from repro.core.cps import CpsNode
 from repro.sim.adversary import SilentAdversary
 from repro.sim.clocks import HardwareClock
 from repro.sim.network import RandomDelayPolicy

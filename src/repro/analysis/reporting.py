@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import math
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Sequence
 
 
 def format_value(value: Any, precision: int = 6) -> str:

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.baselines.chain_relay import ChainParameters
 from repro.baselines.srikanth_toueg import StParameters

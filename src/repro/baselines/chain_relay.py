@@ -41,7 +41,7 @@ from repro.sim.errors import ConfigurationError
 from repro.sim.network import DelayPolicy, NetworkConfig
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.scheduler import Simulation
-from repro.sim.trace import DeliveryRecord, Trace
+from repro.sim.trace import DeliveryRecord, Trace, TraceLevel, TraceSpec
 
 
 def chain_tag(pulse_round: int) -> Tuple[str, int]:
@@ -306,7 +306,7 @@ def build_chain_simulation(
     behavior=None,
     delay_policy: Optional[DelayPolicy] = None,
     seed: int = 0,
-    trace: bool = True,
+    trace: TraceSpec = True,
 ) -> Simulation:
     """Wire a ready-to-run chain-relay simulation."""
     import random
@@ -336,5 +336,5 @@ def build_chain_simulation(
         behavior=behavior,
         delay_policy=delay_policy,
         f=params.f,
-        trace=Trace(enabled=trace),
+        trace=Trace(level=TraceLevel.coerce(trace)),
     )

@@ -35,7 +35,7 @@ from repro.sim.clocks import EPS, HardwareClock, validate_initial_skew
 from repro.sim.network import DelayPolicy, NetworkConfig
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.scheduler import Simulation
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceLevel, TraceSpec
 from repro.sync.approx_agreement import midpoint_rule
 
 
@@ -208,7 +208,7 @@ def build_lw_simulation(
     behavior=None,
     delay_policy: Optional[DelayPolicy] = None,
     seed: int = 0,
-    trace: bool = True,
+    trace: TraceSpec = True,
 ) -> Simulation:
     """Wire a ready-to-run Lynch-Welch simulation (mirrors the CPS one)."""
     from repro.core.cps import default_clocks
@@ -228,5 +228,5 @@ def build_lw_simulation(
         behavior=behavior,
         delay_policy=delay_policy,
         f=params.f,
-        trace=Trace(enabled=trace),
+        trace=Trace(level=TraceLevel.coerce(trace)),
     )

@@ -19,7 +19,7 @@ measured approximate-agreement step to get skew ``Θ(u + (theta-1) d)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
 
 from repro.crypto.signatures import Signature, verify
 from repro.sim.adversary import ByzantineBehavior
@@ -28,7 +28,7 @@ from repro.sim.errors import ConfigurationError
 from repro.sim.network import DelayPolicy, NetworkConfig
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.scheduler import Simulation
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceLevel, TraceSpec
 
 
 def st_tag(pulse_round: int) -> Tuple[str, int]:
@@ -230,7 +230,7 @@ def build_st_simulation(
     behavior=None,
     delay_policy: Optional[DelayPolicy] = None,
     seed: int = 0,
-    trace: bool = True,
+    trace: TraceSpec = True,
 ) -> Simulation:
     """Wire a ready-to-run signed-relay pulser simulation."""
     import random
@@ -260,5 +260,5 @@ def build_st_simulation(
         behavior=behavior,
         delay_policy=delay_policy,
         f=params.f,
-        trace=Trace(enabled=trace),
+        trace=Trace(level=TraceLevel.coerce(trace)),
     )

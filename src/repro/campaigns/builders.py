@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 import networkx as nx
 
+from repro import scenarios
 from repro.analysis import theory
 from repro.analysis.runner import TrialOutcome, run_pulse_trial
 from repro.baselines.chain_relay import (
@@ -52,7 +53,6 @@ from repro.baselines.srikanth_toueg import (
     build_st_simulation,
     derive_st_parameters,
 )
-from repro import scenarios
 from repro.campaigns.spec import MeasurementSpec
 from repro.core.attacks import timing_split_group
 from repro.core.cps import build_cps_simulation
@@ -148,6 +148,15 @@ def _skew_metrics(outcome: TrialOutcome) -> Tuple[float, float]:
     return outcome.report.max_skew, outcome.report.steady_skew
 
 
+def _events_of(outcome: TrialOutcome) -> int:
+    """Events the simulator processed (0 when the run died at build time).
+
+    Recorded in every pulse-trial builder's metrics so ``--perf`` campaign
+    runs can compute per-case throughput (events / trial duration).
+    """
+    return outcome.result.events_processed if outcome.result else 0
+
+
 def case_delay_policy(case: Dict[str, Any], n: int, default: str = "skewing"):
     """Resolve the case's ``delay`` key through the scenario registry."""
     return scenarios.create(
@@ -222,6 +231,7 @@ def cps_skew_trial(
         delay_policy=case_delay_policy(case, n),
         seed=seed,
         clock_style=case.get("clock_style", "extreme"),
+        trace=measurement.trace,
     )
     outcome = measured_pulse_trial(simulation, measurement)
     if outcome.report is None:
@@ -232,6 +242,7 @@ def cps_skew_trial(
             "bound_S": params.S,
             "within": False,
             "live": False,
+            "events": _events_of(outcome),
         }
     measured = outcome.report.max_skew
     return {
@@ -241,6 +252,7 @@ def cps_skew_trial(
         "bound_S": params.S,
         "within": measured <= params.S + 1e-9,
         "live": outcome.live,
+        "events": _events_of(outcome),
     }
 
 
@@ -284,6 +296,7 @@ def resilience_trial(
             behavior=behavior,
             delay_policy=delay_policy,
             seed=seed,
+            trace=measurement.trace,
         )
         tolerated = f <= max_faults(n)
     elif algorithm == "Lynch-Welch":
@@ -297,6 +310,7 @@ def resilience_trial(
             behavior=behavior,
             delay_policy=delay_policy,
             seed=seed,
+            trace=measurement.trace,
         )
         tolerated = f <= lw_max_faults(n)
     else:
@@ -309,6 +323,7 @@ def resilience_trial(
         "steady_skew": steady,
         "bound": params.S,
         "steady_within": steady <= params.S + 1e-9,
+        "events": _events_of(outcome),
     }
 
 
@@ -342,6 +357,7 @@ def algorithm_comparison_trial(
             delay_policy=case_delay_policy(case, n),
             seed=seed,
             clock_style="extreme",
+            trace=measurement.trace,
         )
         theory_skew = params.S
     elif algorithm == "Lynch-Welch [25]":
@@ -356,6 +372,7 @@ def algorithm_comparison_trial(
             ),
             delay_policy=case_delay_policy(case, n),
             seed=seed,
+            trace=measurement.trace,
         )
         theory_skew = params.S
     elif algorithm == "Signed relay [28]/[21]":
@@ -365,6 +382,7 @@ def algorithm_comparison_trial(
             faulty=faulty,
             behavior=StRushAttack(params),
             seed=seed,
+            trace=measurement.trace,
         )
         theory_skew = theory.st_skew_bound(params)
     elif algorithm == "Chain relay [2]-style":
@@ -374,6 +392,7 @@ def algorithm_comparison_trial(
             faulty=faulty,
             behavior=ChainStretchAttack(params),
             seed=seed,
+            trace=measurement.trace,
         )
         theory_skew = theory.chain_skew_bound(params)
     else:
@@ -387,6 +406,7 @@ def algorithm_comparison_trial(
         "theory_skew": theory_skew,
         "steady_skew": steady,
         "skew_over_d": steady / d,
+        "events": _events_of(outcome),
     }
 
 
@@ -449,6 +469,7 @@ def cps_stress_trial(
         behavior=behavior,
         delay_policy=case_delay_policy(case, n, default="maximum"),
         seed=seed,
+        trace=measurement.trace,
     )
     outcome = measured_pulse_trial(simulation, measurement)
     measured, steady = _skew_metrics(outcome)
@@ -459,5 +480,6 @@ def cps_stress_trial(
         "bound_S": params.S,
         "within": steady <= params.S + 1e-9,
         "live": outcome.live,
+        "events": _events_of(outcome),
         **effective,
     }

@@ -122,11 +122,19 @@ class MeasurementSpec:
     ``liveness`` selects the policy applied by pulse-trial builders:
     ``"tabulate"`` records dead runs as rows (NaN/inf skews, ``live``
     False) while ``"require"`` turns them into error records.
+
+    ``trace`` names the :class:`~repro.sim.trace.TraceLevel` simulations
+    run at.  Campaign builders only tabulate pulse-derived metrics, so
+    the default is ``"pulses"`` — per-message trace records are never
+    allocated, which is a large share of simulator runtime.  Pulse
+    outputs (and therefore every table) are identical across levels;
+    set ``"full"`` only for a campaign whose builder inspects the trace.
     """
 
     pulses: int = 10
     warmup: int = 2
     liveness: str = "tabulate"  # "tabulate" | "require"
+    trace: str = "pulses"  # "none" | "pulses" | "full"
 
     def __post_init__(self) -> None:
         if self.liveness not in ("tabulate", "require"):
@@ -134,12 +142,18 @@ class MeasurementSpec:
                 f"liveness must be 'tabulate' or 'require', "
                 f"got {self.liveness!r}"
             )
+        if self.trace not in ("none", "pulses", "full"):
+            raise ValueError(
+                f"trace must be 'none', 'pulses', or 'full', "
+                f"got {self.trace!r}"
+            )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "pulses": self.pulses,
             "warmup": self.warmup,
             "liveness": self.liveness,
+            "trace": self.trace,
         }
 
 

@@ -81,6 +81,30 @@ class ResultStore:
             if name.endswith(".jsonl")
         )
 
+    # ------------------------------------------------------------------
+    # Side-car summaries (e.g. --perf throughput reports)
+
+    def summary_path(self, key: str, kind: str = "perf") -> str:
+        return os.path.join(self.root, f"{key}.{kind}.json")
+
+    def write_summary(
+        self, key: str, payload: Dict, kind: str = "perf"
+    ) -> str:
+        """Write a JSON side-car next to the spec's trial records."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.summary_path(key, kind)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def load_summary(self, key: str, kind: str = "perf") -> Optional[Dict]:
+        path = self.summary_path(key, kind)
+        if not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
     def clear(self, key: Optional[str] = None) -> None:
         """Drop one spec's records, or every record when ``key`` is None."""
         targets = [key] if key is not None else self.keys()

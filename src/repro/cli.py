@@ -26,6 +26,15 @@ Subcommands
 ``scenarios show eclipse`` / ``scenarios show delay:random``
     Describe one entry: description, paper reference, parameters,
     tags.  Qualify with ``kind:`` when a key exists in several kinds.
+``perf list``
+    Show the registered perf cases.
+``perf run [--quick] [--case NAME] [--out results/perf]``
+    Measure perf cases and write ``BENCH_<name>.json`` files.
+``perf compare --baseline results/perf_baseline.json [--tolerance 0.35]``
+    Grade fresh measurements against the committed baseline; exits
+    non-zero on a regression (the CI perf gate).
+``perf baseline [--out results/perf_baseline.json]``
+    Re-record the baseline from the current ``BENCH_*.json`` files.
 """
 
 from __future__ import annotations
@@ -150,6 +159,22 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
     print()
     print(run_summary_table(run).render())
     print(run.summary() + f" (workers={policy.workers})")
+    if args.perf:
+        from repro.perf import campaign_throughput
+
+        throughput = campaign_throughput(run)
+        print(
+            f"throughput: {throughput['events']} events in "
+            f"{throughput['duration']:.2f}s across "
+            f"{throughput['measured']} executed trials "
+            f"({throughput['events_per_sec']:,.0f} events/sec, "
+            f"peak RSS {throughput['peak_rss_kib']} KiB)"
+        )
+        if store is not None:
+            path = store.write_summary(
+                definition.spec().spec_key(args.scale), throughput
+            )
+            print(f"wrote {path}")
     if args.csv:
         table.to_csv(args.csv)
         print(f"\nwrote {args.csv}")
@@ -204,6 +229,75 @@ def _command_scenarios_show(args: argparse.Namespace) -> int:
             print(f"    {spec.render()}{doc}")
     else:
         print("  parameters (none)")
+    return 0
+
+
+DEFAULT_BENCH_DIR = os.path.join("results", "perf")
+DEFAULT_BASELINE = os.path.join("results", "perf_baseline.json")
+
+
+def _command_perf_list(_args: argparse.Namespace) -> int:
+    from repro.perf import PERF_CASES
+
+    for name in sorted(PERF_CASES):
+        print(f"{name:<16} {PERF_CASES[name].description}")
+    return 0
+
+
+def _command_perf_run(args: argparse.Namespace) -> int:
+    from repro.perf import available_cases, run_case
+
+    names = args.case or available_cases()
+    unknown = sorted(set(names) - set(available_cases()))
+    if unknown:
+        raise SystemExit(
+            f"unknown perf case(s) {unknown}; "
+            f"available: {available_cases()}"
+        )
+    scale = "quick" if args.quick else "full"
+    for name in names:
+        result = run_case(name, scale=scale, repeats=args.repeats)
+        path = result.write(args.out)
+        normalized = result.normalized_throughput
+        print(
+            f"{name:<16} {result.events:>9} events  "
+            f"{result.wall_seconds:8.3f}s  "
+            f"{result.events_per_sec:>12,.0f} ev/s  "
+            f"norm {normalized:.4f}  -> {path}"
+        )
+    return 0
+
+
+def _command_perf_compare(args: argparse.Namespace) -> int:
+    from repro.perf import compare, load_baseline, load_results
+
+    if not os.path.exists(args.baseline):
+        raise SystemExit(f"baseline file not found: {args.baseline}")
+    baseline = load_baseline(args.baseline)
+    current = load_results(args.current)
+    if not current:
+        raise SystemExit(
+            f"no BENCH_*.json files under {args.current!r} "
+            f"(run 'repro perf run' first)"
+        )
+    comparison = compare(baseline.cases, current, tolerance=args.tolerance)
+    for verdict in comparison.verdicts:
+        print(verdict.describe())
+    print(comparison.summary())
+    return 0 if comparison.ok else 1
+
+
+def _command_perf_baseline(args: argparse.Namespace) -> int:
+    from repro.perf import load_results, write_baseline
+
+    results = load_results(args.current)
+    if not results:
+        raise SystemExit(
+            f"no BENCH_*.json files under {args.current!r} "
+            f"(run 'repro perf run' first)"
+        )
+    path = write_baseline(args.out, results, notes=args.notes)
+    print(f"wrote baseline with {len(results)} case(s) to {path}")
     return 0
 
 
@@ -299,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run_parser.add_argument(
         "--csv", help="also write the table as CSV"
     )
+    campaign_run_parser.add_argument(
+        "--perf", action="store_true",
+        help="record per-case throughput (events/sec) and, with "
+        "--store, persist it as <spec_key>.perf.json",
+    )
     campaign_run_parser.set_defaults(handler=_command_campaign_run)
 
     scenarios_parser = sub.add_parser(
@@ -330,6 +429,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="disambiguate keys that exist in several kinds",
     )
     scenarios_show_parser.set_defaults(handler=_command_scenarios_show)
+
+    perf_parser = sub.add_parser(
+        "perf", help="benchmark tracking (probes, baselines, CI gate)"
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
+
+    perf_sub.add_parser(
+        "list", help="list registered perf cases"
+    ).set_defaults(handler=_command_perf_list)
+
+    perf_run_parser = perf_sub.add_parser(
+        "run", help="measure perf cases and write BENCH_<name>.json"
+    )
+    perf_run_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale workloads (seconds, not minutes)",
+    )
+    perf_run_parser.add_argument(
+        "--case", action="append",
+        help="measure only this case (repeatable; default: all)",
+    )
+    perf_run_parser.add_argument(
+        "--out", default=DEFAULT_BENCH_DIR,
+        help=f"directory for BENCH_*.json (default {DEFAULT_BENCH_DIR})",
+    )
+    perf_run_parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per case, best run kept (default 3)",
+    )
+    perf_run_parser.set_defaults(handler=_command_perf_run)
+
+    perf_compare_parser = perf_sub.add_parser(
+        "compare",
+        help="grade BENCH_*.json files against a baseline (CI gate)",
+    )
+    perf_compare_parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline JSON file (default {DEFAULT_BASELINE})",
+    )
+    perf_compare_parser.add_argument(
+        "--current", default=DEFAULT_BENCH_DIR,
+        help="directory of fresh BENCH_*.json files "
+        f"(default {DEFAULT_BENCH_DIR})",
+    )
+    perf_compare_parser.add_argument(
+        "--tolerance", type=float, default=0.35,
+        help="accepted fractional throughput drop (default 0.35)",
+    )
+    perf_compare_parser.set_defaults(handler=_command_perf_compare)
+
+    perf_baseline_parser = perf_sub.add_parser(
+        "baseline",
+        help="re-record the committed baseline from current results",
+    )
+    perf_baseline_parser.add_argument(
+        "--current", default=DEFAULT_BENCH_DIR,
+        help="directory of fresh BENCH_*.json files "
+        f"(default {DEFAULT_BENCH_DIR})",
+    )
+    perf_baseline_parser.add_argument(
+        "--out", default=DEFAULT_BASELINE,
+        help=f"baseline file to write (default {DEFAULT_BASELINE})",
+    )
+    perf_baseline_parser.add_argument(
+        "--notes", default="",
+        help="free-form provenance note stored in the baseline",
+    )
+    perf_baseline_parser.set_defaults(handler=_command_perf_baseline)
 
     return parser
 

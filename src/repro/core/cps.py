@@ -37,7 +37,7 @@ from repro.sim.errors import ConfigurationError
 from repro.sim.network import DelayPolicy, NetworkConfig
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.scheduler import Simulation
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceLevel, TraceSpec
 from repro.sync.approx_agreement import midpoint_rule
 from repro.sync.crusader import BOT
 
@@ -269,7 +269,7 @@ def build_cps_simulation(
     delay_policy: Optional[DelayPolicy] = None,
     u_tilde: Optional[float] = None,
     seed: int = 0,
-    trace: bool = True,
+    trace: TraceSpec = True,
     clock_style: str = "random",
     **node_kwargs: Any,
 ) -> Simulation:
@@ -294,5 +294,5 @@ def build_cps_simulation(
         behavior=behavior,
         delay_policy=delay_policy,
         f=params.f,
-        trace=Trace(enabled=trace),
+        trace=Trace(level=TraceLevel.coerce(trace)),
     )

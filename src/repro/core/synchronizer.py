@@ -85,7 +85,7 @@ def synchronous_round_overhead(
     to 1.  Measured here as mean full-round time (pulse ``i`` to pulse
     ``i+1`` at the same node, averaged) over ``d``.
     """
-    schedule = verify_round_separation(pulses, d)
+    verify_round_separation(pulses, d)  # raises on a broken schedule
     count = min(len(times) for times in pulses.values())
     period_sum = 0.0
     samples = 0

@@ -16,6 +16,7 @@ Constructing a ``Signature`` with a wrong token raises
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Hashable, Iterator, Tuple
 
 
@@ -64,15 +65,46 @@ class Signature:
         return (self.signer, self.value)
 
 
+@lru_cache(maxsize=1 << 16)
+def _verify_memo(
+    sig_signer: int, sig_value: Hashable, signer: int, value: Hashable
+) -> bool:
+    """Content-addressed verification cache.
+
+    Keyed by (signer, payload digest) on both the signature's and the
+    claimed side: ``lru_cache`` hashes the 4-tuple (the digest) and falls
+    back to full equality on collision, so memoized answers are exact.
+    Protocols re-verify the same signature chains every round (the signed
+    relay and chain-relay baselines verify whole chains per message), so
+    the deep payload comparisons are paid once per distinct content.
+    """
+    return sig_signer == signer and sig_value == value
+
+
 def verify(signature: Signature, signer: int, value: Hashable) -> bool:
     """Check that ``signature`` is ``signer``'s signature on ``value``.
 
     Mirrors the paper's ``Verify(pk_v, sig, m)``.  Because forging raises at
     construction time, verification reduces to comparing the claimed signer
     and payload.  Perfect correctness (``Verify(pk, Sign(sk, m), m) = 1``)
-    holds by construction.
+    holds by construction.  Results are memoized content-addressed via
+    :func:`_verify_memo`; unhashable ``value`` objects (never produced by
+    the in-repo protocols) fall back to direct comparison.
     """
-    return signature.signer == signer and signature.value == value
+    try:
+        return _verify_memo(signature.signer, signature.value, signer, value)
+    except TypeError:
+        return signature.signer == signer and signature.value == value
+
+
+def verify_cache_stats() -> Any:
+    """The memoized-verify hit/miss counters (``functools.CacheInfo``)."""
+    return _verify_memo.cache_info()
+
+
+def clear_verify_cache() -> None:
+    """Drop all memoized verification results (used by perf harnesses)."""
+    _verify_memo.cache_clear()
 
 
 def collect_signatures(payload: Any) -> Iterator[Signature]:

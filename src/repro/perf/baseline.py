@@ -1,0 +1,205 @@
+"""Baseline store and regression verdicts for perf tracking.
+
+A *baseline* is a committed JSON file mapping perf-case names to the
+:class:`~repro.perf.bench.BenchResult` recorded when the baseline was
+last updated.  :func:`compare` grades a directory of freshly measured
+``BENCH_*.json`` files against it:
+
+* the comparison metric is the machine-**normalized** throughput
+  (``events_per_sec / calibration``) whenever both sides carry a
+  calibration, falling back to raw events/sec otherwise — so a baseline
+  recorded on a laptop still gates a CI runner;
+* ``ratio = current / baseline``; ``ratio >= 1`` is an ``improvement``,
+  a drop within ``tolerance`` is ``within-tolerance``, a larger drop is
+  a ``regression``;
+* a case present in the baseline but not measured is ``missing`` (and
+  fails); a measured case absent from the baseline is ``new`` (and
+  passes — adding perf cases must not require lockstep baseline edits).
+
+``repro perf compare`` exits non-zero iff :attr:`Comparison.ok` is
+False, which is the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.perf.bench import BenchResult
+
+#: Verdict statuses in severity order (worst first).
+STATUSES = ("regression", "missing", "new", "within-tolerance", "improvement")
+
+
+@dataclass(frozen=True)
+class CaseVerdict:
+    """How one perf case fared against its baseline."""
+
+    name: str
+    status: str  # one of STATUSES
+    baseline_value: Optional[float] = None
+    current_value: Optional[float] = None
+    ratio: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status not in ("regression", "missing")
+
+    def describe(self) -> str:
+        if self.ratio is not None:
+            return (
+                f"{self.name}: {self.status} "
+                f"(ratio {self.ratio:.3f}, baseline "
+                f"{self.baseline_value:.4g}, current "
+                f"{self.current_value:.4g})"
+            )
+        return f"{self.name}: {self.status}"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The full verdict set of one baseline comparison."""
+
+    verdicts: List[CaseVerdict]
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return all(verdict.ok for verdict in self.verdicts)
+
+    def by_status(self) -> Dict[str, List[CaseVerdict]]:
+        grouped: Dict[str, List[CaseVerdict]] = {}
+        for verdict in self.verdicts:
+            grouped.setdefault(verdict.status, []).append(verdict)
+        return grouped
+
+    def summary(self) -> str:
+        counts = {
+            status: len(verdicts)
+            for status, verdicts in self.by_status().items()
+        }
+        parts = ", ".join(
+            f"{counts[status]} {status}"
+            for status in STATUSES
+            if status in counts
+        )
+        return (
+            f"{'PASS' if self.ok else 'FAIL'} "
+            f"(tolerance {self.tolerance:.0%}): {parts or 'no cases'}"
+        )
+
+
+def _metric(result: BenchResult, use_normalized: bool) -> float:
+    if use_normalized:
+        normalized = result.normalized_throughput
+        assert normalized is not None
+        return normalized
+    return result.events_per_sec
+
+
+def grade(
+    baseline: BenchResult, current: BenchResult, tolerance: float
+) -> CaseVerdict:
+    """Grade one case: current throughput against its baseline."""
+    use_normalized = (
+        baseline.normalized_throughput is not None
+        and current.normalized_throughput is not None
+    )
+    baseline_value = _metric(baseline, use_normalized)
+    current_value = _metric(current, use_normalized)
+    ratio = (
+        current_value / baseline_value if baseline_value > 0 else float("inf")
+    )
+    if ratio >= 1.0:
+        status = "improvement"
+    elif ratio >= 1.0 - tolerance:
+        status = "within-tolerance"
+    else:
+        status = "regression"
+    return CaseVerdict(
+        name=current.name,
+        status=status,
+        baseline_value=baseline_value,
+        current_value=current_value,
+        ratio=ratio,
+    )
+
+
+def compare(
+    baseline: Mapping[str, BenchResult],
+    current: Mapping[str, BenchResult],
+    tolerance: float = 0.35,
+) -> Comparison:
+    """Grade every case of ``current`` against ``baseline``.
+
+    ``tolerance`` is the fractional throughput drop still accepted
+    (0.35 = up to 35% slower passes; anything beyond is a regression).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    verdicts: List[CaseVerdict] = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            verdicts.append(CaseVerdict(name=name, status="missing"))
+        elif name not in baseline:
+            verdicts.append(CaseVerdict(name=name, status="new"))
+        else:
+            verdicts.append(grade(baseline[name], current[name], tolerance))
+    return Comparison(verdicts=verdicts, tolerance=tolerance)
+
+
+# ----------------------------------------------------------------------
+# Baseline files
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A committed set of reference measurements plus provenance."""
+
+    cases: Dict[str, BenchResult]
+    created: str = ""
+    notes: str = ""
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def write_baseline(
+    path: str,
+    results: Mapping[str, BenchResult],
+    notes: str = "",
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Serialize ``results`` as a baseline file at ``path``."""
+    payload = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "notes": notes,
+        "meta": meta or {},
+        "cases": {
+            name: result.to_json_dict()
+            for name, result in sorted(results.items())
+        },
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> Baseline:
+    """Load a baseline file written by :func:`write_baseline`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return Baseline(
+        cases={
+            name: BenchResult.from_json_dict(case)
+            for name, case in payload.get("cases", {}).items()
+        },
+        created=payload.get("created", ""),
+        notes=payload.get("notes", ""),
+        meta=payload.get("meta") or {},
+    )

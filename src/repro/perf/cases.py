@@ -1,0 +1,219 @@
+"""The registered perf cases: named workloads measured by ``repro perf``.
+
+Each case builds and runs real simulations under a
+:class:`~repro.perf.probe.PerfProbe` and reports the simulator events it
+processed.  Cases accept a scale (``quick`` for the CI smoke gate,
+``full`` for local investigation) that widens the workload without
+changing its shape.
+
+``e5-stress`` is the reference case for the engine rewrite: the E5
+resilience grid (CPS and Lynch-Welch at the extreme fault counts) under
+the three registry delay policies of the stress tier — the workload the
+pre-rewrite scheduler processed at ~96k events/sec (FULL trace, one
+2.3 GHz core; see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.perf.bench import BenchResult
+from repro.perf.probe import PerfProbe
+
+#: A case body: ``run(scale)`` returning (events, meta) — the probe wall
+#: time is captured around the call by :func:`run_case`.
+CaseBody = Callable[[str], Tuple[int, Dict[str, object]]]
+
+PERF_CASES: Dict[str, "PerfCase"] = {}
+
+
+class PerfCase:
+    """A named measurable workload."""
+
+    def __init__(self, name: str, description: str, body: CaseBody) -> None:
+        self.name = name
+        self.description = description
+        self.body = body
+
+
+def register_case(
+    name: str, description: str
+) -> Callable[[CaseBody], CaseBody]:
+    def decorate(body: CaseBody) -> CaseBody:
+        PERF_CASES[name] = PerfCase(name, description, body)
+        return body
+
+    return decorate
+
+
+def available_cases() -> List[str]:
+    return sorted(PERF_CASES)
+
+
+def run_case(
+    name: str, scale: str = "quick", repeats: int = 3
+) -> BenchResult:
+    """Measure one case: best-of-``repeats`` wall time, summed events.
+
+    The first (warmup) run is excluded — it pays import, allocation, and
+    cache-priming costs that steady-state throughput should not include.
+    """
+    case = PERF_CASES[name]
+    case.body(scale)  # warmup, unmeasured
+    best: Tuple[float, int, Dict[str, object]] = (float("inf"), 0, {})
+    for _ in range(max(repeats, 1)):
+        probe = PerfProbe(calibrate=False)
+        with probe:
+            events, meta = case.body(scale)
+            probe.add_events(events)
+        if probe.wall_seconds < best[0]:
+            best = (probe.wall_seconds, probe.events, meta)
+    final = PerfProbe()
+    final.wall_seconds, final.events = best[0], best[1]
+    return BenchResult.from_reading(
+        name,
+        final.reading(scale=scale, description=case.description, **best[2]),
+    )
+
+
+def run_cases(
+    names: List[str], scale: str = "quick", repeats: int = 3
+) -> Dict[str, BenchResult]:
+    return {name: run_case(name, scale, repeats) for name in names}
+
+
+# ----------------------------------------------------------------------
+# Case bodies
+# ----------------------------------------------------------------------
+
+
+@register_case(
+    "e5-stress",
+    "E5 resilience grid (CPS + Lynch-Welch) under the stress-tier "
+    "delay policies; the engine-rewrite reference workload",
+)
+def _e5_stress(scale: str) -> Tuple[int, Dict[str, object]]:
+    from repro import scenarios
+    from repro.analysis.runner import run_pulse_trial
+    from repro.baselines.lynch_welch import (
+        LwTimingAttack,
+        build_lw_simulation,
+        derive_lw_parameters,
+    )
+    from repro.campaigns.builders import _extreme_clocks, cps_group_a
+    from repro.core.cps import build_cps_simulation
+    from repro.core.params import derive_parameters, max_faults
+
+    n, theta, d, u, seed = 9, 1.001, 1.0, 0.02, 5
+    pulses = 20 if scale == "quick" else 60
+    total_events = 0
+    trials = 0
+    for delay_key in ("skewing", "eclipse", "flicker-partition"):
+        for f in (0, max_faults(n)):
+            for algorithm in ("CPS", "Lynch-Welch"):
+                faulty = list(range(n - f, n)) if f else []
+                delay_policy = scenarios.create("delay", delay_key, n)
+                if algorithm == "CPS":
+                    params = derive_parameters(theta, d, u, n, f=max_faults(n))
+                    behavior = (
+                        scenarios.create("adversary", "mimic-split", params)
+                        if f
+                        else None
+                    )
+                    simulation = build_cps_simulation(
+                        params,
+                        clocks=_extreme_clocks(params, n, theta),
+                        faulty=faulty,
+                        behavior=behavior,
+                        delay_policy=delay_policy,
+                        seed=seed,
+                        trace="pulses",
+                    )
+                else:
+                    params = derive_lw_parameters(theta, d, u, n, f=max(f, 1))
+                    behavior = (
+                        LwTimingAttack(params, cps_group_a(n)) if f else None
+                    )
+                    simulation = build_lw_simulation(
+                        params,
+                        clocks=_extreme_clocks(params, n, theta),
+                        faulty=faulty,
+                        behavior=behavior,
+                        delay_policy=delay_policy,
+                        seed=seed,
+                        trace="pulses",
+                    )
+                outcome = run_pulse_trial(simulation, pulses, warmup=8)
+                assert outcome.result is not None, outcome.error
+                total_events += outcome.result.events_processed
+                trials += 1
+    return total_events, {"trials": trials, "pulses": pulses}
+
+
+@register_case(
+    "cps-full-trace",
+    "One CPS system under mimic-split with FULL tracing — guards the "
+    "record-allocating path the examples and tests rely on",
+)
+def _cps_full_trace(scale: str) -> Tuple[int, Dict[str, object]]:
+    from repro import scenarios
+    from repro.analysis.runner import run_pulse_trial
+    from repro.core.cps import build_cps_simulation
+    from repro.core.params import derive_parameters
+
+    n = 9 if scale == "quick" else 13
+    pulses = 25 if scale == "quick" else 50
+    params = derive_parameters(1.001, 1.0, 0.02, n)
+    faulty = list(range(n - params.f, n))
+    simulation = build_cps_simulation(
+        params,
+        faulty=faulty,
+        behavior=scenarios.create("adversary", "mimic-split", params),
+        seed=3,
+        clock_style="extreme",
+        trace="full",
+    )
+    outcome = run_pulse_trial(simulation, pulses, warmup=5)
+    assert outcome.result is not None, outcome.error
+    return outcome.result.events_processed, {
+        "pulses": pulses,
+        "trace_records": len(outcome.result.trace.records),
+    }
+
+
+@register_case(
+    "stress-campaign",
+    "The STRESS campaign (registry adversary/delay/drift/topology cross "
+    "products) through the campaign executor, serial",
+)
+def _stress_campaign(scale: str) -> Tuple[int, Dict[str, object]]:
+    from repro.campaigns import campaign_definition, execute_campaign
+
+    campaign_scale = "quick" if scale == "quick" else "full"
+    definition = campaign_definition("STRESS")
+    run = execute_campaign(definition.spec(), scale=campaign_scale)
+    events = sum(r.metrics.get("events", 0) for r in run.records)
+    return events, {"trials": len(run.records), "failed": run.failed}
+
+
+@register_case(
+    "queue-churn",
+    "EventQueue push/pop microbenchmark (heap + slab, no protocol work)",
+)
+def _queue_churn(scale: str) -> Tuple[int, Dict[str, object]]:
+    from repro.sim.events import PRIORITY_DELIVERY, EventQueue, TimerEvent
+
+    operations = 100_000 if scale == "quick" else 500_000
+    queue = EventQueue()
+    event = TimerEvent(0, "tick", 0.0)
+    push, pop = queue.push, queue.pop
+    # Interleave pushes and pops with drifting times: the heap stays
+    # ~1000 entries deep, like a mid-size simulation.
+    for i in range(1000):
+        push(float(i), PRIORITY_DELIVERY, event)
+    for i in range(operations):
+        push(1000.0 + i * 0.5, PRIORITY_DELIVERY, event)
+        pop()
+    while pop() is not None:
+        pass
+    return operations, {"operations": operations}

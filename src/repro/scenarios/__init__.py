@@ -24,6 +24,13 @@ catalog uses.  Register your own entries with
 
 from __future__ import annotations
 
+# Importing the catalog modules populates the process-wide registry.
+from repro.scenarios import (  # noqa: F401
+    adversaries,
+    delays,
+    drift,
+    topologies,
+)
 from repro.scenarios.registry import (
     KINDS,
     REGISTRY,
@@ -33,12 +40,6 @@ from repro.scenarios.registry import (
     UnknownScenarioError,
     register_scenario,
 )
-
-# Populate the registry: each import registers one kind's catalog.
-from repro.scenarios import adversaries  # noqa: E402,F401
-from repro.scenarios import delays  # noqa: E402,F401
-from repro.scenarios import drift  # noqa: E402,F401
-from repro.scenarios import topologies  # noqa: E402,F401
 
 #: Module-level conveniences bound to the process-wide registry.
 get = REGISTRY.get

@@ -19,7 +19,7 @@ import random
 from typing import List
 
 from repro.core.cps import default_clocks
-from repro.scenarios.registry import ParamSpec, register_scenario
+from repro.scenarios.registry import register_scenario
 from repro.sim.clocks import HardwareClock
 
 

@@ -40,7 +40,7 @@ from repro.sim.network import (
 )
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.scheduler import AdversaryContext, Simulation, SimulationResult
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceLevel
 
 __all__ = [
     "AdversaryContext",
@@ -71,4 +71,5 @@ __all__ = [
     "SkewingDelayPolicy",
     "TimedProtocol",
     "Trace",
+    "TraceLevel",
 ]

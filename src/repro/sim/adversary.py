@@ -13,7 +13,7 @@ CPS/TCB message format live in :mod:`repro.core.attacks`.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional
 
 from repro.crypto.signatures import Signature
 from repro.sim.runtime import NodeAPI, TimedProtocol

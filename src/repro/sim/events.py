@@ -13,14 +13,24 @@ arriving exactly at a window-closing local time must not be counted as
 arriving *inside* the open window, so the window-closing timer must be
 processed first.  Adversary wakeups run last so the adversary observes
 everything that happened "at" that instant, which only makes it stronger.
+
+Queue representation
+--------------------
+
+The heap holds bare ``(time, priority, seq)`` tuples — never the event
+objects themselves — and a slab dict maps ``seq`` to the event payload.
+Tuple keys compare in C (``seq`` is unique, so the event is never
+compared), which removes the Python-level ``__lt__`` dispatch that used
+to dominate ``heappush``/``heappop``; cancellation is O(1) slab removal
+with lazy heap cleanup.  Event records are ``__slots__`` dataclasses, so
+the per-message allocation in the simulator's inner loop stays small.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Event-kind priorities (lower fires first at equal time).
 PRIORITY_TIMER = 0
@@ -28,7 +38,7 @@ PRIORITY_DELIVERY = 1
 PRIORITY_ADVERSARY = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimerEvent:
     """A local timer of an honest node coming due."""
 
@@ -37,7 +47,7 @@ class TimerEvent:
     local_time: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryEvent:
     """A message delivery: ``payload`` from ``src`` arriving at ``dst``."""
 
@@ -47,63 +57,82 @@ class DeliveryEvent:
     send_time: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdversaryEvent:
     """A scheduled callback into the Byzantine behaviour."""
 
     tag: Any
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    priority: int
-    seq: int
-    event: Any = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
+#: A queue entry as stored on the heap: ``(time, priority, seq)``.
+HeapKey = Tuple[float, int, int]
+
+#: Opaque handle returned by :meth:`EventQueue.push` (the slab sequence
+#: number); pass it to :meth:`EventQueue.cancel`.
+CancelHandle = int
 
 
 class EventQueue:
-    """A deterministic priority queue over simulation events."""
+    """A deterministic priority queue over simulation events.
+
+    ``_heap`` stores ``(time, priority, seq)`` keys; ``_slab`` maps live
+    ``seq`` values to their event objects.  A cancelled entry is simply
+    removed from the slab — its heap key is discarded lazily when it
+    reaches the front.
+    """
+
+    __slots__ = ("_heap", "_slab", "_next_seq")
 
     def __init__(self) -> None:
-        self._heap: List[_QueueEntry] = []
-        self._counter = itertools.count()
+        self._heap: List[HeapKey] = []
+        self._slab: Dict[int, Any] = {}
+        self._next_seq = 0
 
-    def push(self, time: float, priority: int, event: Any) -> _QueueEntry:
+    def push(self, time: float, priority: int, event: Any) -> CancelHandle:
         """Schedule ``event`` at ``time`` with the given kind priority."""
-        entry = _QueueEntry(time, priority, next(self._counter), event)
-        heapq.heappush(self._heap, entry)
-        return entry
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._slab[seq] = event
+        heapq.heappush(self._heap, (time, priority, seq))
+        return seq
 
     def pop(self) -> Optional[Tuple[float, Any]]:
         """Remove and return ``(time, event)`` for the next live event."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if not entry.cancelled:
-                return entry.time, entry.event
+        popped = self.pop_entry()
+        if popped is None:
+            return None
+        time, _priority, event = popped
+        return time, event
+
+    def pop_entry(self) -> Optional[Tuple[float, int, Any]]:
+        """Remove and return ``(time, priority, event)`` for the next live
+        event.
+
+        The priority doubles as the event kind (timers, deliveries, and
+        adversary wakeups are pushed with distinct priorities), which lets
+        the scheduler dispatch on an int instead of ``isinstance`` checks.
+        """
+        heap, slab = self._heap, self._slab
+        while heap:
+            time, priority, seq = heapq.heappop(heap)
+            event = slab.pop(seq, None)
+            if event is not None:
+                return time, priority, event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap, slab = self._heap, self._slab
+        while heap and heap[0][2] not in slab:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def cancel(self, handle: CancelHandle) -> bool:
+        """Cancel a scheduled event; returns whether it was still live."""
+        return self._slab.pop(handle, None) is not None
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._heap if not entry.cancelled)
+        return len(self._slab)
 
     def __bool__(self) -> bool:
-        return self.peek_time() is not None
-
-
-CancelHandle = Callable[[], None]
-
-
-def cancel_handle(entry: _QueueEntry) -> CancelHandle:
-    """Return a callable that cancels ``entry`` when invoked."""
-
-    def cancel() -> None:
-        entry.cancelled = True
-
-    return cancel
+        return bool(self._slab)

@@ -29,10 +29,27 @@ class SignatureKnowledge:
     def __init__(self, faulty: Iterable[int]) -> None:
         self.faulty: Set[int] = set(faulty)
         self._earliest: Dict[SignatureKey, float] = {}
+        # Content-addressed memo of collect_signatures(): a broadcast
+        # payload reaches every faulty node, so the identical (hashable)
+        # payload is walked once instead of once per delivery.  Signatures
+        # compare by (signer, value), so equal payloads contain equal
+        # signature sets by construction.
+        self._collected: Dict[Any, Tuple[Signature, ...]] = {}
+
+    def signatures_of(self, payload: Any) -> Tuple[Signature, ...]:
+        """All signatures inside ``payload`` (memoized per content)."""
+        try:
+            cached = self._collected.get(payload)
+        except TypeError:  # unhashable payload: walk it every time
+            return tuple(collect_signatures(payload))
+        if cached is None:
+            cached = tuple(collect_signatures(payload))
+            self._collected[payload] = cached
+        return cached
 
     def learn_payload(self, payload: Any, time: float) -> None:
         """Record all signatures inside ``payload`` as known from ``time``."""
-        for signature in collect_signatures(payload):
+        for signature in self.signatures_of(payload):
             self.learn(signature, time)
 
     def learn(self, signature: Signature, time: float) -> None:
@@ -68,7 +85,7 @@ class SignatureKnowledge:
             If ``payload`` contains an honest signature the adversary has
             not received by ``time``.
         """
-        for signature in collect_signatures(payload):
+        for signature in self.signatures_of(payload):
             if not self.knows(signature, time):
                 raise ForgeryError(
                     f"faulty node {sender} tried to send signature "

@@ -23,6 +23,8 @@ from repro.crypto.signatures import Signature
 class NodeAPI(abc.ABC):
     """Capabilities the runtime grants to an honest protocol instance."""
 
+    __slots__ = ()
+
     node_id: int
     n: int
     f: int

@@ -15,6 +15,18 @@ behaviour — and runs an execution:
   :class:`~repro.sim.knowledge.SignatureKnowledge`.
 
 The run is deterministic given the configuration and all seeds.
+
+Hot path
+--------
+
+The main loop is written for throughput: events are dispatched on the
+integer kind priority carried by the heap key (no ``isinstance``), the
+pulse-quota stop condition is maintained as a counter instead of an
+O(honest) scan per event, trace records are allocated only at the levels
+that record them (:class:`~repro.sim.trace.TraceLevel`), and the queue's
+heap/slab are accessed through locals hoisted out of the loop.  None of
+this changes semantics: event order is still (time, priority, insertion
+seq), and pulse outputs are byte-identical across trace levels.
 """
 
 from __future__ import annotations
@@ -40,10 +52,9 @@ from repro.sim.network import DelayPolicy, MaximumDelayPolicy, NetworkConfig
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.trace import (
     DeliveryRecord,
-    PulseRecord,
     SendRecord,
-    TimerRecord,
     Trace,
+    TraceLevel,
 )
 
 
@@ -66,6 +77,8 @@ class SimulationResult:
 class _SimNodeAPI(NodeAPI):
     """The :class:`NodeAPI` implementation backed by the simulator."""
 
+    __slots__ = ("_sim", "node_id", "n", "f", "_clock", "_key_pair")
+
     def __init__(self, sim: "Simulation", node_id: int) -> None:
         self._sim = sim
         self.node_id = node_id
@@ -78,14 +91,15 @@ class _SimNodeAPI(NodeAPI):
         return self._clock.local_time(self._sim.now)
 
     def set_timer(self, local_when: float, tag: Any) -> None:
+        sim = self._sim
         real = self._clock.real_time(local_when)
-        if real < self._sim.now - 1e-6:
-            self._sim.warnings.append(
+        if real < sim.now - 1e-6:
+            sim.warnings.append(
                 f"node {self.node_id}: timer target local {local_when} "
-                f"(real {real}) is in the past at {self._sim.now}"
+                f"(real {real}) is in the past at {sim.now}"
             )
-        real = max(real, self._sim.now)
-        self._sim.queue.push(
+        real = max(real, sim.now)
+        sim.queue.push(
             real,
             PRIORITY_TIMER,
             TimerEvent(self.node_id, tag, local_when),
@@ -95,9 +109,11 @@ class _SimNodeAPI(NodeAPI):
         self._sim.honest_send(self.node_id, dst, payload)
 
     def broadcast(self, payload: Any) -> None:
+        sim = self._sim
+        node_id = self.node_id
         for dst in range(self.n):
-            if dst != self.node_id:
-                self._sim.honest_send(self.node_id, dst, payload)
+            if dst != node_id:
+                sim.honest_send(node_id, dst, payload)
 
     def sign(self, value: Hashable) -> Signature:
         return self._key_pair.sign(value)
@@ -257,6 +273,11 @@ class Simulation:
             v: [] for v in range(config.n)
         }
         self.events_processed = 0
+        # Pulse-quota bookkeeping for run(max_pulses=...): the number of
+        # honest nodes still below the quota, updated by record_pulse so
+        # the main loop tests one counter instead of scanning all nodes.
+        self._pulse_quota: Optional[int] = None
+        self._quota_open = 0
 
         self._protocols: Dict[int, TimedProtocol] = {}
         self._apis: Dict[int, _SimNodeAPI] = {}
@@ -276,53 +297,51 @@ class Simulation:
 
     def honest_send(self, src: int, dst: int, payload: Any) -> None:
         """Dispatch a send by an honest node through the delay policy."""
+        now = self.now
         link_is_honest = dst not in self.faulty  # src is honest here
         delay = self.delay_policy.delay(
-            self.config, src, dst, self.now, payload, link_is_honest
+            self.config, src, dst, now, payload, link_is_honest
         )
         delay = self.config.validate_delay(
-            delay, src_honest=True, dst_honest=dst not in self.faulty
+            delay, src_honest=True, dst_honest=link_is_honest
         )
-        self.trace.send(
-            time=self.now,
-            src=src,
-            dst=dst,
-            payload=payload,
-            delay=delay,
-            src_honest=True,
-        )
-        self.queue.push(
-            self.now + delay,
-            PRIORITY_DELIVERY,
-            DeliveryEvent(src, dst, payload, self.now),
-        )
-        if self.behavior is not None:
-            self.behavior.on_honest_send(
-                self._adversary_ctx,
-                SendRecord(
-                    time=self.now,
-                    src=src,
-                    dst=dst,
-                    payload=payload,
-                    delay=delay,
-                    src_honest=True,
-                ),
+        # The SendRecord doubles as the trace entry and the adversary's
+        # observation; build it once, and only when someone consumes it.
+        behavior = self.behavior
+        if behavior is not None or self.trace.level >= TraceLevel.FULL:
+            record = SendRecord(
+                time=now,
+                src=src,
+                dst=dst,
+                payload=payload,
+                delay=delay,
+                src_honest=True,
             )
+            if self.trace.level >= TraceLevel.FULL:
+                self.trace.records.append(record)
+        self.queue.push(
+            now + delay,
+            PRIORITY_DELIVERY,
+            DeliveryEvent(src, dst, payload, now),
+        )
+        if behavior is not None:
+            behavior.on_honest_send(self._adversary_ctx, record)
 
     def faulty_send(
         self, src: int, dst: int, payload: Any, delay: Optional[float]
     ) -> None:
         """Dispatch a send by a faulty node (knowledge-checked)."""
-        self.knowledge.check_payload(payload, self.now, src)
+        now = self.now
+        self.knowledge.check_payload(payload, now, src)
         if delay is None:
             delay = self.delay_policy.delay(
-                self.config, src, dst, self.now, payload, False
+                self.config, src, dst, now, payload, False
             )
         delay = self.config.validate_delay(
             delay, src_honest=False, dst_honest=dst not in self.faulty
         )
         self.trace.send(
-            time=self.now,
+            time=now,
             src=src,
             dst=dst,
             payload=payload,
@@ -330,22 +349,26 @@ class Simulation:
             src_honest=False,
         )
         self.queue.push(
-            self.now + delay,
+            now + delay,
             PRIORITY_DELIVERY,
-            DeliveryEvent(src, dst, payload, self.now),
+            DeliveryEvent(src, dst, payload, now),
         )
 
     def record_pulse(self, node: int) -> None:
-        self.pulses[node].append(self.now)
+        pulse_list = self.pulses[node]
+        pulse_list.append(self.now)
+        quota = self._pulse_quota
+        if quota is not None and len(pulse_list) == quota:
+            self._quota_open -= 1
         self.trace.pulse(
             time=self.now,
             node=node,
-            index=len(self.pulses[node]),
+            index=len(pulse_list),
             local_time=self.clocks[node].local_time(self.now),
         )
         if self.behavior is not None and node not in self.faulty:
             self.behavior.on_pulse(
-                self._adversary_ctx, node, len(self.pulses[node]), self.now
+                self._adversary_ctx, node, len(pulse_list), self.now
             )
 
     # ------------------------------------------------------------------
@@ -372,30 +395,117 @@ class Simulation:
             raise ConfigurationError(
                 "provide a stop condition (until / max_pulses)"
             )
+        self._pulse_quota = max_pulses
+        if max_pulses is not None:
+            self._quota_open = sum(
+                1 for v in self.honest if len(self.pulses[v]) < max_pulses
+            )
         for v in self.honest:
             self._protocols[v].on_start(self._apis[v])
         if self.behavior is not None:
             self.behavior.on_start(self._adversary_ctx)
 
-        while True:
-            if max_pulses is not None and self.honest and all(
-                len(self.pulses[v]) >= max_pulses for v in self.honest
-            ):
-                break
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until + EPS:
-                break
-            popped = self.queue.pop()
-            assert popped is not None
-            self.now, event = popped
-            self.events_processed += 1
-            if self.events_processed > max_events:
-                raise SimulationError(
-                    f"event cap of {max_events} exceeded — runaway execution?"
-                )
-            self._dispatch(event)
+        # Hot loop: everything dereferenced per event is hoisted into
+        # locals; the queue's heap/slab are accessed directly (peek +
+        # pop fused); dispatch keys on the heap priority int.
+        import heapq as _heapq
+
+        heappop = _heapq.heappop
+        heap = self.queue._heap
+        slab = self.queue._slab
+        protocols = self._protocols
+        apis = self._apis
+        faulty = self.faulty
+        knowledge = self.knowledge
+        behavior = self.behavior
+        ctx = self._adversary_ctx
+        trace = self.trace
+        trace_full = trace.level >= TraceLevel.FULL
+        trace_records = trace.records
+        # Quota only gates when honest nodes exist (matches the historical
+        # `self.honest and all(...)` check: an all-faulty run ignores it).
+        quota_gated = max_pulses is not None and bool(self.honest)
+        events_processed = self.events_processed
+        until_cutoff = None if until is None else until + EPS
+
+        try:
+            while True:
+                if quota_gated and self._quota_open == 0:
+                    break
+                # Inline peek: drop cancelled keys, stop when empty.
+                while heap:
+                    key = heap[0]
+                    if key[2] in slab:
+                        break
+                    heappop(heap)
+                else:
+                    break
+                time = key[0]
+                if until_cutoff is not None and time > until_cutoff:
+                    break
+                heappop(heap)
+                priority = key[1]
+                event = slab.pop(key[2])
+                self.now = time
+                events_processed += 1
+                if events_processed > max_events:
+                    raise SimulationError(
+                        f"event cap of {max_events} exceeded — "
+                        f"runaway execution?"
+                    )
+                if priority == PRIORITY_TIMER:
+                    if trace_full:
+                        trace.timer(
+                            time=time,
+                            node=event.node,
+                            tag=event.tag,
+                            local_time=event.local_time,
+                        )
+                    protocol = protocols.get(event.node)
+                    if protocol is not None:
+                        protocol.on_timer(apis[event.node], event.tag)
+                elif priority == PRIORITY_DELIVERY:
+                    dst = event.dst
+                    if trace_full:
+                        trace_records.append(
+                            DeliveryRecord(
+                                time=time,
+                                src=event.src,
+                                dst=dst,
+                                payload=event.payload,
+                            )
+                        )
+                    if dst in faulty:
+                        # Knowledge pools across faulty nodes at
+                        # reception time.
+                        knowledge.learn_payload(event.payload, time)
+                        if behavior is not None:
+                            behavior.on_deliver(
+                                ctx,
+                                DeliveryRecord(
+                                    time=time,
+                                    src=event.src,
+                                    dst=dst,
+                                    payload=event.payload,
+                                ),
+                            )
+                    else:
+                        protocol = protocols.get(dst)
+                        if protocol is not None:
+                            protocol.on_message(
+                                apis[dst], event.src, event.payload
+                            )
+                elif priority == PRIORITY_ADVERSARY:
+                    if behavior is not None:
+                        behavior.on_wakeup(ctx, event.tag)
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"unknown event priority {priority}: {event!r}"
+                    )
+        finally:
+            self.events_processed = events_processed
+            self._pulse_quota = None
+            self._quota_open = 0
 
         return SimulationResult(
             pulses={v: list(times) for v, times in self.pulses.items()},
@@ -405,45 +515,3 @@ class Simulation:
             events_processed=self.events_processed,
             end_time=self.now,
         )
-
-    def _dispatch(self, event: Any) -> None:
-        if isinstance(event, TimerEvent):
-            self.trace.timer(
-                time=self.now,
-                node=event.node,
-                tag=event.tag,
-                local_time=event.local_time,
-            )
-            if event.node in self._protocols:
-                self._protocols[event.node].on_timer(
-                    self._apis[event.node], event.tag
-                )
-        elif isinstance(event, DeliveryEvent):
-            self.trace.delivery(
-                time=self.now,
-                src=event.src,
-                dst=event.dst,
-                payload=event.payload,
-            )
-            if event.dst in self.faulty:
-                # Knowledge pools across faulty nodes at reception time.
-                self.knowledge.learn_payload(event.payload, self.now)
-                if self.behavior is not None:
-                    self.behavior.on_deliver(
-                        self._adversary_ctx,
-                        DeliveryRecord(
-                            time=self.now,
-                            src=event.src,
-                            dst=event.dst,
-                            payload=event.payload,
-                        ),
-                    )
-            elif event.dst in self._protocols:
-                self._protocols[event.dst].on_message(
-                    self._apis[event.dst], event.src, event.payload
-                )
-        elif isinstance(event, AdversaryEvent):
-            if self.behavior is not None:
-                self.behavior.on_wakeup(self._adversary_ctx, event.tag)
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"unknown event type: {event!r}")

@@ -1,4 +1,4 @@
-"""Structured execution traces.
+"""Structured execution traces with selectable recording levels.
 
 A :class:`Trace` collects typed records of everything observable in a
 simulation: sends, deliveries, timers, pulses, and protocol-specific events
@@ -6,17 +6,55 @@ simulation: sends, deliveries, timers, pulses, and protocol-specific events
 the examples' narrative output, and several tests that assert on *how* an
 outcome was reached rather than just on the outcome.
 
-Tracing can be disabled (``Trace(enabled=False)``) for large sweeps; all
-recording methods become no-ops.
+Recording is tiered by :class:`TraceLevel`:
+
+* ``FULL`` — every record type (the default; what tests and examples use).
+* ``PULSES`` — only :class:`PulseRecord` entries.  Campaign sweeps that
+  only tabulate skew metrics run here: per-message ``SendRecord`` /
+  ``DeliveryRecord`` allocation is skipped entirely, which is a large
+  fraction of the simulator's inner-loop cost.
+* ``NONE`` — nothing is recorded (``Trace(enabled=False)`` maps here).
+
+The level only controls *recording*; pulse times themselves live on the
+simulation (``SimulationResult.pulses``) and are byte-identical across
+levels — asserted by ``tests/test_perf.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional
+from enum import IntEnum
+from typing import Any, Callable, Iterator, List, Optional, Union
 
 
-@dataclass(frozen=True)
+class TraceLevel(IntEnum):
+    """How much of an execution a :class:`Trace` records."""
+
+    NONE = 0
+    PULSES = 1
+    FULL = 2
+
+    @classmethod
+    def coerce(
+        cls, value: Union["TraceLevel", str, bool, int, None]
+    ) -> "TraceLevel":
+        """Accept a level, its lowercase name, or a legacy bool."""
+        if value is None or value is True:
+            return cls.FULL
+        if value is False:
+            return cls.NONE
+        if isinstance(value, str):
+            try:
+                return cls[value.upper()]
+            except KeyError:
+                raise ValueError(
+                    f"unknown trace level {value!r}; "
+                    f"choose from {[level.name.lower() for level in cls]}"
+                ) from None
+        return cls(value)
+
+
+@dataclass(frozen=True, slots=True)
 class SendRecord:
     """A message left ``src`` bound for ``dst``."""
 
@@ -28,7 +66,7 @@ class SendRecord:
     src_honest: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryRecord:
     """A message completed processing at ``dst``."""
 
@@ -38,7 +76,7 @@ class DeliveryRecord:
     payload: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimerRecord:
     """A local timer fired at ``node``."""
 
@@ -48,7 +86,7 @@ class TimerRecord:
     local_time: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PulseRecord:
     """Node ``node`` generated its ``index``-th pulse (1-based)."""
 
@@ -58,7 +96,7 @@ class PulseRecord:
     local_time: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProtocolRecord:
     """A protocol-specific annotation (kind + free-form details)."""
 
@@ -70,34 +108,57 @@ class ProtocolRecord:
 
 TraceRecord = Any
 
+#: What simulation builders accept for their ``trace`` parameter: a
+#: :class:`TraceLevel`, its lowercase name, or a legacy bool
+#: (``True`` -> ``FULL``, ``False`` -> ``NONE``).
+TraceSpec = Union[TraceLevel, str, bool]
+
 
 class Trace:
-    """An append-only, optionally disabled, log of simulation records."""
+    """An append-only, level-gated log of simulation records."""
 
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
+    __slots__ = ("level", "records")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        level: Union[TraceLevel, str, None] = None,
+    ) -> None:
+        if level is None:
+            level = TraceLevel.FULL if enabled else TraceLevel.NONE
+        self.level = TraceLevel.coerce(level)
         self.records: List[TraceRecord] = []
 
+    @property
+    def enabled(self) -> bool:
+        """Legacy flag: does this trace record anything at all?"""
+        return self.level is not TraceLevel.NONE
+
     def record(self, record: TraceRecord) -> None:
-        if self.enabled:
+        if self.level:
             self.records.append(record)
 
     # Convenience constructors -----------------------------------------
 
     def send(self, **kwargs: Any) -> None:
-        self.record(SendRecord(**kwargs)) if self.enabled else None
+        if self.level >= TraceLevel.FULL:
+            self.records.append(SendRecord(**kwargs))
 
     def delivery(self, **kwargs: Any) -> None:
-        self.record(DeliveryRecord(**kwargs)) if self.enabled else None
+        if self.level >= TraceLevel.FULL:
+            self.records.append(DeliveryRecord(**kwargs))
 
     def timer(self, **kwargs: Any) -> None:
-        self.record(TimerRecord(**kwargs)) if self.enabled else None
+        if self.level >= TraceLevel.FULL:
+            self.records.append(TimerRecord(**kwargs))
 
     def pulse(self, **kwargs: Any) -> None:
-        self.record(PulseRecord(**kwargs)) if self.enabled else None
+        if self.level >= TraceLevel.PULSES:
+            self.records.append(PulseRecord(**kwargs))
 
     def protocol(self, **kwargs: Any) -> None:
-        self.record(ProtocolRecord(**kwargs)) if self.enabled else None
+        if self.level >= TraceLevel.FULL:
+            self.records.append(ProtocolRecord(**kwargs))
 
     # Queries -----------------------------------------------------------
 

@@ -18,7 +18,7 @@ imports it from this module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.errors import ConfigurationError, SimulationError

@@ -17,7 +17,7 @@ up to ``f + 1`` accumulates one hop's uncertainty per link.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, List, Set, Tuple
 
 from repro.crypto.signatures import Signature, verify
 from repro.sync.crusader import BOT

@@ -7,7 +7,6 @@ range, and two nodes' outputs under crusader-consistent receptions are at
 most half the honest range apart.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -12,7 +12,6 @@ from repro.core.attacks import (
 from repro.core.cps import build_cps_simulation
 from repro.core.messages import TcbMessage, tcb_tag
 from repro.core.params import derive_parameters
-from repro.crypto.signatures import verify
 from repro.sim.adversary import HonestUntilCrash, adversary_catalog
 from repro.sim.network import NetworkConfig
 from repro.sync.crusader import BOT

@@ -16,7 +16,7 @@ from repro.core.attacks import (
     FastToFaultyDelayPolicy,
 )
 from repro.core.cps import CpsNode, build_cps_simulation, default_clocks
-from repro.core.params import derive_parameters, max_faults
+from repro.core.params import derive_parameters
 from repro.sim.adversary import ReplayAdversary, SilentAdversary
 from repro.sim.clocks import HardwareClock
 from repro.sim.errors import ConfigurationError

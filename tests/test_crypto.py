@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.crypto.pki import KeyPair, PublicKeyInfrastructure
+from repro.crypto.pki import PublicKeyInfrastructure
 from repro.crypto.signatures import (
     Signature,
     SignatureError,

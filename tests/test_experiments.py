@@ -4,7 +4,6 @@ These check the *scientific claims* each table is supposed to exhibit —
 not just that code runs.
 """
 
-import math
 
 import pytest
 

@@ -24,7 +24,7 @@ from repro.core.attacks import (
     CpsMimicDealerAttack,
 )
 from repro.core.cps import build_cps_simulation
-from repro.core.params import derive_parameters, max_faults
+from repro.core.params import derive_parameters
 from repro.sim.adversary import ReplayAdversary, SilentAdversary
 from repro.sim.clocks import HardwareClock
 from repro.sim.network import (

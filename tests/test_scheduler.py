@@ -155,7 +155,9 @@ class TestBasicMechanics:
 
 class TestAdversaryContext:
     def test_scheduled_sends_are_delivered(self):
-        payload_fn = lambda ctx: ("fake", 2)
+        def payload_fn(ctx):
+            return ("fake", 2)
+
         behavior = ScheduledSendAdversary({3.0: [(2, 0, payload_fn, 1.0)]})
         sim = build(faulty=[2], behavior=behavior)
         sim.run(max_pulses=2)

@@ -9,7 +9,6 @@ from repro.sim.events import (
     PRIORITY_DELIVERY,
     PRIORITY_TIMER,
     EventQueue,
-    cancel_handle,
 )
 from repro.sim.knowledge import SignatureKnowledge
 from repro.sim.network import (
@@ -24,8 +23,6 @@ from repro.sim.network import (
 )
 from repro.sim.trace import (
     DeliveryRecord,
-    ProtocolRecord,
-    PulseRecord,
     SendRecord,
     Trace,
 )
@@ -59,9 +56,11 @@ class TestEventQueue:
 
     def test_cancellation(self):
         queue = EventQueue()
-        entry = queue.push(1.0, PRIORITY_TIMER, "gone")
+        handle = queue.push(1.0, PRIORITY_TIMER, "gone")
         queue.push(2.0, PRIORITY_TIMER, "kept")
-        cancel_handle(entry)()
+        assert queue.cancel(handle)
+        assert not queue.cancel(handle)  # already dead
+        assert len(queue) == 1
         assert queue.pop() == (2.0, "kept")
         assert queue.pop() is None
 
