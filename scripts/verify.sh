@@ -8,14 +8,19 @@
 #   ./scripts/verify.sh --fast   # tests only (matrix jobs / quick loops;
 #                                # docs freshness is version-independent
 #                                # and runs once on the full entry)
+#   ./scripts/verify.sh --cov    # tests under pytest-cov with the
+#                                # line-coverage floor from pyproject
+#                                # (fail_under = 85; the CI full entry)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
+COV=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
-    *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+    --cov) COV=1 ;;
+    *) echo "usage: $0 [--fast] [--cov]" >&2; exit 2 ;;
   esac
 done
 
@@ -23,7 +28,13 @@ done
 # checkouts run the suite straight from the source tree.
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-python -m pytest -x -q
+PYTEST_ARGS=(-x -q)
+if [[ "$COV" -eq 1 ]]; then
+  # Coverage config (source, fail_under) lives in pyproject.toml.
+  PYTEST_ARGS+=(--cov --cov-report=term-missing:skip-covered)
+fi
+
+python -m pytest "${PYTEST_ARGS[@]}"
 if [[ "$FAST" -eq 0 ]]; then
   python benchmarks/generate_experiments_md.py --check
 fi

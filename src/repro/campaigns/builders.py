@@ -415,11 +415,13 @@ def algorithm_comparison_trial(
 # ----------------------------------------------------------------------
 
 
-@register_builder("cps-stress")
-def cps_stress_trial(
-    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
-) -> Dict[str, Any]:
-    """One CPS run fully assembled from scenario-registry keys.
+def build_registry_simulation(
+    case: Dict[str, Any],
+    seed: int,
+    trace: Any = "pulses",
+    checks: Any = None,
+) -> Tuple[Any, Any, int, Dict[str, float]]:
+    """Assemble a CPS simulation entirely from scenario-registry keys.
 
     The case names each behaviour by registry key — ``adversary``,
     ``delay``, ``drift``, and optionally ``topology`` — with optional
@@ -428,7 +430,12 @@ def cps_stress_trial(
     ``d``/``u``); with one, the Appendix A translation is applied
     first: the physical graph is overlaid with ``f + 1`` vertex-disjoint
     paths per pair and CPS runs with the effective ``(d_eff, u_eff)``,
-    so the measured skew is compared against the *overlay's* bound.
+    so measurements are compared against the *overlay's* bounds.
+
+    Returns ``(simulation, params, f, effective)``; shared by the
+    ``cps-stress`` builder and the conformance engine
+    (:mod:`repro.checks`), so conformance runs exercise byte-identical
+    executions.
     """
     n = case["n"]
     theta = case.get("theta", 1.001)
@@ -469,7 +476,22 @@ def cps_stress_trial(
         behavior=behavior,
         delay_policy=case_delay_policy(case, n, default="maximum"),
         seed=seed,
-        trace=measurement.trace,
+        trace=trace,
+        checks=checks,
+    )
+    return simulation, params, f, effective
+
+
+@register_builder("cps-stress")
+def cps_stress_trial(
+    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
+) -> Dict[str, Any]:
+    """One CPS run fully assembled from scenario-registry keys.
+
+    See :func:`build_registry_simulation` for the case conventions.
+    """
+    simulation, params, f, effective = build_registry_simulation(
+        case, seed, trace=measurement.trace
     )
     outcome = measured_pulse_trial(simulation, measurement)
     measured, steady = _skew_metrics(outcome)

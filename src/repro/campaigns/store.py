@@ -29,6 +29,20 @@ from typing import Dict, Iterator, List, Optional
 from repro.campaigns.executor import TrialRecord
 
 
+def dump_json_summary(path: str, payload: Dict) -> str:
+    """Canonical side-car serialization: indent 2, sorted keys, LF.
+
+    Shared by :meth:`ResultStore.write_summary` and
+    ``repro check matrix --out`` so every persisted verdict artifact is
+    byte-stable in exactly the same format — the round-trip stability
+    tests depend on both call sites staying identical.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 class ResultStore:
     """A directory of ``<spec_key>.jsonl`` trial-record files."""
 
@@ -92,11 +106,7 @@ class ResultStore:
     ) -> str:
         """Write a JSON side-car next to the spec's trial records."""
         os.makedirs(self.root, exist_ok=True)
-        path = self.summary_path(key, kind)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        return path
+        return dump_json_summary(self.summary_path(key, kind), payload)
 
     def load_summary(self, key: str, kind: str = "perf") -> Optional[Dict]:
         path = self.summary_path(key, kind)

@@ -1,0 +1,95 @@
+"""Conformance engine: streaming theorem-bound monitors.
+
+The paper's value is its *guarantees*; this subsystem makes them
+machine-checked over every scenario the engine can produce:
+
+``monitors``
+    :class:`Violation` / :class:`Monitor` / :class:`CheckSet` — the
+    streaming invariant monitors (Theorem 17 skew and periods, liveness,
+    Lemma 11 TCB consistency, Theorem 9 APA contraction), fed online
+    through the scheduler's ``checks=`` hook so they compose with the
+    ``TraceLevel.PULSES`` fast path.
+``conformance``
+    :func:`check_scenario` / :func:`conformance_matrix` — drop every
+    scenario-registry entry into a reference configuration and judge it
+    against the closed-form bounds (``repro check run/matrix``).
+``campaign``
+    :func:`campaign_conformance` — verdicts for the scenarios a
+    campaign references, persisted as ``<spec_key>.check.json``
+    side-cars by ``repro campaign run --check``.
+``fixtures``
+    The deliberately-broken execution (E8's ``u_tilde >> u`` corner)
+    proving the monitors actually fire.
+
+See ``docs/CONFORMANCE.md`` for the workflow.
+"""
+
+from repro.checks.campaign import (
+    campaign_conformance,
+    campaign_scenarios,
+    render_campaign_conformance,
+)
+from repro.checks.conformance import (
+    APA_MONITORS,
+    CPS_MONITORS,
+    MONITOR_CATALOG,
+    ScenarioReport,
+    applicable_monitors,
+    check_scenario,
+    conformance_matrix,
+    cps_check_set,
+    render_matrix,
+    render_report,
+    run_apa_conformance,
+    run_cps_conformance,
+    scenario_case,
+    scenario_mode,
+)
+from repro.checks.fixtures import (
+    build_broken_simulation,
+    run_broken_fixture,
+)
+from repro.checks.monitors import (
+    TOLERANCE,
+    ApaContractionMonitor,
+    CheckSet,
+    Monitor,
+    MonitorVerdict,
+    PeriodWindowMonitor,
+    ProgressMonitor,
+    SkewBoundMonitor,
+    TcbConsistencyMonitor,
+    Violation,
+)
+
+__all__ = [
+    "APA_MONITORS",
+    "CPS_MONITORS",
+    "MONITOR_CATALOG",
+    "TOLERANCE",
+    "ApaContractionMonitor",
+    "CheckSet",
+    "Monitor",
+    "MonitorVerdict",
+    "PeriodWindowMonitor",
+    "ProgressMonitor",
+    "ScenarioReport",
+    "SkewBoundMonitor",
+    "TcbConsistencyMonitor",
+    "Violation",
+    "applicable_monitors",
+    "build_broken_simulation",
+    "campaign_conformance",
+    "campaign_scenarios",
+    "check_scenario",
+    "conformance_matrix",
+    "cps_check_set",
+    "render_campaign_conformance",
+    "render_matrix",
+    "render_report",
+    "run_apa_conformance",
+    "run_broken_fixture",
+    "run_cps_conformance",
+    "scenario_case",
+    "scenario_mode",
+]

@@ -1,0 +1,94 @@
+"""Per-campaign conformance: the ``--check`` flag's engine.
+
+``repro campaign run <name> --check`` conformance-runs every scenario
+the campaign's grid references (the registry-validated ``adversary`` /
+``delay`` / ``topology`` / ``drift`` case values across all trial
+plans) and, with ``--store``, persists the verdicts as a
+``<spec_key>.check.json`` side-car next to the trial records —
+mirroring how ``--perf`` persists throughput summaries.
+
+The payload is derived purely from the spec (scenario set, campaign
+seed) and the deterministic conformance engine, so two runs of the same
+campaign at the same scale write byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.campaigns.spec import SCENARIO_CASE_KEYS, CampaignSpec
+from repro.checks.conformance import (
+    MONITOR_CATALOG,
+    check_scenario,
+)
+from repro.scenarios import REGISTRY
+
+
+def campaign_scenarios(
+    spec: CampaignSpec, scale: str
+) -> List[Tuple[str, str]]:
+    """The registry entries a campaign's grid references at ``scale``.
+
+    Scans every trial plan's case dict for scenario-typed keys whose
+    string values name registry entries (the same convention campaign
+    plan-time validation uses).  Non-registry axes (e.g. E5's
+    ``algorithm``) are ignored.
+    """
+    found = set()
+    for plan in spec.trials_for(scale):
+        for case_key, kind in SCENARIO_CASE_KEYS.items():
+            value = plan.case.get(case_key)
+            if isinstance(value, str) and REGISTRY.has(kind, value):
+                found.add((kind, value))
+    return sorted(found)
+
+
+def campaign_conformance(
+    spec: CampaignSpec, scale: str = "quick"
+) -> Dict[str, Any]:
+    """Conformance verdicts for every scenario a campaign references.
+
+    Conformance always runs at quick scale (the verdict is about the
+    *scenario*, not the campaign's measurement tier); the campaign's
+    own seed keys the deterministic per-scenario seeds.
+    """
+    reports = [
+        check_scenario(kind, key, scale="quick", seed=spec.seed)
+        for kind, key in campaign_scenarios(spec, scale)
+    ]
+    failed = [report.qualified for report in reports if not report.ok]
+    return {
+        "campaign": spec.name,
+        "scale": scale,
+        "spec_key": spec.spec_key(scale),
+        "seed": spec.seed,
+        "monitors": list(MONITOR_CATALOG),
+        "scenarios": [report.as_dict() for report in reports],
+        "total": len(reports),
+        "failed": failed,
+        "pass": not failed,
+    }
+
+
+def render_campaign_conformance(payload: Dict[str, Any]) -> str:
+    """One-line-per-scenario summary for the campaign CLI."""
+    lines = [
+        f"conformance [{payload['campaign']}]: "
+        f"{payload['total']} referenced scenario(s)"
+    ]
+    for entry in payload["scenarios"]:
+        status = "PASS" if entry["ok"] else "FAIL"
+        checked = sum(v["checked"] for v in entry["verdicts"])
+        label = f"{entry['kind']}:{entry['key']}"
+        lines.append(f"  {label:<32} {status}  ({checked} checks)")
+        if entry["error"] is not None:
+            lines.append(f"    ! {entry['error']}")
+        for verdict in entry["verdicts"]:
+            for violation in verdict["violations"]:
+                lines.append(
+                    f"    ! {verdict['monitor']}: "
+                    f"{violation['message']} "
+                    f"(observed {violation['observed']:.6g}, "
+                    f"bound {violation['bound']:.6g})"
+                )
+    return "\n".join(lines)

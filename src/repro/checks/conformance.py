@@ -1,0 +1,361 @@
+"""Conformance runs: every registry scenario against the paper bounds.
+
+The conformance engine turns the scenario registry into a test matrix:
+each entry is dropped into a fixed reference configuration, executed at
+a CI-friendly scale with streaming monitors attached, and judged
+against the closed-form bounds of :mod:`repro.analysis.theory`.  Two
+execution modes cover the catalog:
+
+``cps``
+    Pulse-synchronization scenarios (``cps``-tagged adversaries, every
+    delay policy, drift profile, and topology).  The simulation is
+    assembled by the same registry-keyed builder the STRESS campaign
+    uses (:func:`~repro.campaigns.builders.build_registry_simulation`)
+    with the Theorem 17 / Lemma 11 monitors attached through the
+    scheduler's ``checks=`` hook.
+``apa``
+    Round-model adversaries (``apa``-tagged) run iterated approximate
+    agreement and are judged by :class:`ApaContractionMonitor`
+    (Theorem 9).
+
+Everything here is deterministic given ``seed`` — verdict payloads
+contain no wall-clock data — which is what makes persisted conformance
+artifacts byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import theory
+from repro.campaigns.builders import build_registry_simulation
+from repro.campaigns.spec import derive_seed
+from repro.checks.monitors import (
+    ApaContractionMonitor,
+    CheckSet,
+    MonitorVerdict,
+    PeriodWindowMonitor,
+    ProgressMonitor,
+    SkewBoundMonitor,
+    TcbConsistencyMonitor,
+)
+from repro.core.params import ProtocolParameters, max_faults
+from repro.scenarios import REGISTRY
+from repro.sync.approx_agreement import run_apa
+
+#: Monitor catalog in display order: name -> claim (matrix columns).
+MONITOR_CATALOG: Dict[str, str] = {
+    SkewBoundMonitor.name: SkewBoundMonitor.claim,
+    PeriodWindowMonitor.name: PeriodWindowMonitor.claim,
+    ProgressMonitor.name: ProgressMonitor.claim,
+    TcbConsistencyMonitor.name: TcbConsistencyMonitor.claim,
+    ApaContractionMonitor.name: ApaContractionMonitor.claim,
+}
+
+#: Monitors applicable to each execution mode.
+CPS_MONITORS: Tuple[str, ...] = (
+    SkewBoundMonitor.name,
+    PeriodWindowMonitor.name,
+    ProgressMonitor.name,
+    TcbConsistencyMonitor.name,
+)
+APA_MONITORS: Tuple[str, ...] = (ApaContractionMonitor.name,)
+
+#: The reference configuration conformance runs drop scenarios into —
+#: the STRESS campaign's base system in the typical regime.
+CPS_BASE_CASE: Dict[str, Any] = {
+    "n": 6,
+    "theta": 1.001,
+    "d": 1.0,
+    "u": 0.02,
+    "adversary": "silent",
+    "delay": "maximum",
+    "drift": "extreme",
+}
+
+#: Topology rows need a sparse-graph-friendly size (matches STRESS).
+TOPOLOGY_N = 8
+
+#: Pulses measured per scale (quick keeps the full matrix CI-friendly).
+PULSES_BY_SCALE: Dict[str, int] = {"quick": 8, "full": 20}
+
+#: APA reference run (mirrors the E1 campaign's n=9 row).
+APA_N = 9
+APA_INITIAL_RANGE = 64.0
+APA_TARGET = 1.0
+
+
+def cps_check_set(
+    params: ProtocolParameters,
+    honest: Sequence[int],
+    expected_pulses: int,
+) -> CheckSet:
+    """The Theorem 17 / Lemma 11 monitors for one CPS deployment."""
+    honest = list(honest)
+    return CheckSet(
+        [
+            SkewBoundMonitor(theory.cps_skew_bound(params), len(honest)),
+            PeriodWindowMonitor(
+                theory.cps_min_period_bound(params),
+                theory.cps_max_period_bound(params),
+                len(honest),
+            ),
+            ProgressMonitor(honest, expected_pulses),
+            TcbConsistencyMonitor(
+                theory.tcb_consistency_bound(params), len(honest)
+            ),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Conformance verdicts of one scenario in one mode."""
+
+    kind: str
+    key: str
+    mode: str
+    seed: int
+    verdicts: Tuple[MonitorVerdict, ...]
+    error: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.kind}:{self.key}"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and all(v.ok for v in self.verdicts)
+
+    def verdict_for(self, monitor: str) -> Optional[MonitorVerdict]:
+        for verdict in self.verdicts:
+            if verdict.monitor == monitor:
+                return verdict
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "mode": self.mode,
+            "seed": self.seed,
+            "ok": self.ok,
+            "error": self.error,
+            "verdicts": [v.as_dict() for v in self.verdicts],
+        }
+
+
+def scenario_mode(kind: str, key: str) -> str:
+    """``"cps"`` or ``"apa"`` — how a registry entry is conformance-run."""
+    entry = REGISTRY.get(kind, key)
+    if entry.kind == "adversary" and "apa" in entry.tags:
+        return "apa"
+    return "cps"
+
+
+def applicable_monitors(kind: str, key: str) -> Tuple[str, ...]:
+    """Monitor names that apply to ``(kind, key)``."""
+    if scenario_mode(kind, key) == "apa":
+        return APA_MONITORS
+    return CPS_MONITORS
+
+
+def scenario_case(kind: str, key: str) -> Dict[str, Any]:
+    """The reference case dict with ``(kind, key)`` plugged in."""
+    case = dict(CPS_BASE_CASE)
+    if kind == "topology":
+        case["n"] = TOPOLOGY_N
+    case[kind] = key
+    return case
+
+
+def conformance_seed(seed: int, kind: str, key: str) -> int:
+    """Deterministic per-scenario seed (independent of sweep order)."""
+    return derive_seed(seed, "conformance", {"kind": kind, "key": key})
+
+
+def run_cps_conformance(
+    case: Dict[str, Any],
+    pulses: int,
+    seed: int,
+    trace: Any = "pulses",
+) -> Tuple[List[MonitorVerdict], Any]:
+    """Run one registry-keyed CPS case with monitors attached.
+
+    Returns ``(verdicts, simulation_result)``; the result is surfaced
+    so differential tests can compare pulse streams across trace
+    levels.
+    """
+    simulation, params, _f, _effective = build_registry_simulation(
+        case, seed, trace=trace
+    )
+    checks = cps_check_set(params, simulation.honest, pulses)
+    simulation.attach_checks(checks)
+    result = simulation.run(max_pulses=pulses)
+    return checks.finish(), result
+
+
+def run_apa_conformance(
+    key: str, seed: int
+) -> Tuple[List[MonitorVerdict], Any]:
+    """Run iterated APA under one registry adversary with the Theorem 9
+    monitor."""
+    n = APA_N
+    f = max_faults(n)
+    faulty = list(range(n - f, n))
+    iterations = math.ceil(math.log2(APA_INITIAL_RANGE / APA_TARGET))
+    adversary = REGISTRY.create("adversary", key, None)
+    honest = [v for v in range(n) if v not in faulty]
+    inputs = {
+        v: APA_INITIAL_RANGE * index / max(len(honest) - 1, 1)
+        for index, v in enumerate(honest)
+    }
+    outcome = run_apa(
+        inputs, n, f, faulty, adversary, iterations=iterations, seed=seed
+    )
+    monitor = ApaContractionMonitor()
+    monitor.observe_ranges(outcome.ranges())
+    return [monitor.finish()], outcome
+
+
+def check_scenario(
+    kind: str,
+    key: str,
+    scale: str = "quick",
+    seed: int = 0,
+    trace: Any = "pulses",
+) -> ScenarioReport:
+    """Conformance-run one registry scenario and report per-monitor
+    verdicts.
+
+    ``seed`` is the *sweep* seed; the scenario's own seed is derived
+    from it deterministically.  Execution errors are tabulated (an
+    errored scenario fails conformance but never aborts a matrix
+    sweep).
+    """
+    scenario_seed = conformance_seed(seed, kind, key)
+    pulses = PULSES_BY_SCALE.get(scale, PULSES_BY_SCALE["quick"])
+    mode = "cps"
+    try:
+        mode = scenario_mode(kind, key)
+        if mode == "apa":
+            verdicts, _outcome = run_apa_conformance(key, scenario_seed)
+        else:
+            case = scenario_case(kind, key)
+            verdicts, _result = run_cps_conformance(
+                case, pulses, scenario_seed, trace=trace
+            )
+        error = None
+    except Exception as exc:  # noqa: BLE001 - sweeps tabulate failures
+        verdicts, error = [], f"{type(exc).__name__}: {exc}"
+    return ScenarioReport(
+        kind=kind,
+        key=key,
+        mode=mode,
+        seed=scenario_seed,
+        verdicts=tuple(verdicts),
+        error=error,
+    )
+
+
+def conformance_matrix(
+    scale: str = "quick",
+    seed: int = 0,
+    kinds: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Sweep every applicable registry scenario; JSON-ready verdicts.
+
+    The payload is deterministic given ``seed`` (no timestamps or
+    durations), so writing it twice with the same inputs produces
+    byte-identical files.
+    """
+    reports: List[ScenarioReport] = []
+    for entry in REGISTRY.entries():
+        if kinds is not None and entry.kind not in kinds:
+            continue
+        reports.append(check_scenario(entry.kind, entry.key, scale, seed))
+    failed = [report.qualified for report in reports if not report.ok]
+    return {
+        "scale": scale,
+        "seed": seed,
+        "monitors": list(MONITOR_CATALOG),
+        "scenarios": [report.as_dict() for report in reports],
+        "total": len(reports),
+        "failed": failed,
+        "pass": not failed,
+    }
+
+
+def render_matrix(payload: Dict[str, Any]) -> str:
+    """The scenario x monitor pass/fail table for ``stdout``."""
+    monitors = payload["monitors"]
+    label_width = max(
+        [len("scenario")]
+        + [
+            len(f"{entry['kind']}:{entry['key']}")
+            for entry in payload["scenarios"]
+        ]
+    )
+    widths = [max(len(name), 4) for name in monitors]
+    lines = [
+        f"conformance matrix [{payload['scale']}] — paper-bound "
+        f"monitors over every registry scenario"
+    ]
+    header = "  ".join(
+        [f"{'scenario':<{label_width}}"]
+        + [f"{name:>{width}}" for name, width in zip(monitors, widths)]
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in payload["scenarios"]:
+        cells = []
+        by_monitor = {
+            verdict["monitor"]: verdict for verdict in entry["verdicts"]
+        }
+        for name, width in zip(monitors, widths):
+            verdict = by_monitor.get(name)
+            if entry["error"] is not None and name in (
+                CPS_MONITORS if entry["mode"] == "cps" else APA_MONITORS
+            ):
+                cell = "ERR"
+            elif verdict is None:
+                cell = "—"
+            else:
+                cell = "PASS" if verdict["ok"] else "FAIL"
+            cells.append(f"{cell:>{width}}")
+        label = f"{entry['kind']}:{entry['key']}"
+        lines.append("  ".join([f"{label:<{label_width}}"] + cells))
+    failed = payload["failed"]
+    lines.append("")
+    if failed:
+        lines.append(
+            f"{len(failed)}/{payload['total']} scenarios FAILED: "
+            + ", ".join(failed)
+        )
+    else:
+        lines.append(
+            f"all {payload['total']} scenarios PASS every applicable "
+            f"monitor"
+        )
+    return "\n".join(lines)
+
+
+def render_report(report: ScenarioReport) -> str:
+    """Human-readable verdicts for one scenario."""
+    lines = [
+        f"{report.qualified} [{report.mode}] seed={report.seed} — "
+        + ("PASS" if report.ok else "FAIL")
+    ]
+    if report.error is not None:
+        lines.append(f"  error      {report.error}")
+    for verdict in report.verdicts:
+        status = "PASS" if verdict.ok else "FAIL"
+        lines.append(
+            f"  {verdict.monitor:<16} {status}  "
+            f"({verdict.checked} checks) — {verdict.claim}"
+        )
+        for violation in verdict.violations:
+            lines.append(f"    ! {violation.describe()}")
+    return "\n".join(lines)

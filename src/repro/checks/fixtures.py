@@ -1,0 +1,69 @@
+"""A deliberately-broken execution proving the monitors actually fire.
+
+A conformance engine that always reports PASS is indistinguishable from
+one that checks nothing, so this module wires the one corner of the
+model where the paper *tells us* the guarantees collapse: faulty links
+undercutting the honest minimum delay (``u_tilde > u``).  Under the
+rushing-echo attack with ``u_tilde = 16 u`` (experiment E8's setup),
+rushed echoes force honest-dealer rejections and the measured skew
+provably exceeds Theorem 17's ``S`` — the monitors, parameterized for
+the *honest* ``u``, must therefore emit violations.
+
+Both the test suite and ``repro check fixture`` run this and demand at
+least one :class:`~repro.checks.monitors.Violation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro import scenarios
+from repro.checks.conformance import cps_check_set
+from repro.checks.monitors import MonitorVerdict
+from repro.core.cps import build_cps_simulation
+from repro.core.params import derive_parameters
+
+#: E8's model-violation regime: faulty links 16x faster than honest
+#: uncertainty permits.  The table shows the measured skew exceeding S.
+BROKEN_N = 6
+BROKEN_THETA = 1.0005
+BROKEN_D = 1.0
+BROKEN_U = 0.01
+BROKEN_U_TILDE = 0.16
+BROKEN_PULSES = 12
+
+
+def build_broken_simulation(seed: int = 2, trace: Any = "pulses"):
+    """CPS under rushing echoes with ``u_tilde >> u`` plus monitors.
+
+    Returns ``(simulation, check_set, params)``; running the simulation
+    for :data:`BROKEN_PULSES` pulses makes the skew monitor fire.
+    """
+    params = derive_parameters(BROKEN_THETA, BROKEN_D, BROKEN_U, BROKEN_N)
+    faulty = list(range(BROKEN_N - params.f, BROKEN_N))
+    simulation = build_cps_simulation(
+        params,
+        faulty=faulty,
+        behavior=scenarios.create("adversary", "rushing-echo", None),
+        delay_policy=scenarios.create("delay", "fast-to-faulty", BROKEN_N),
+        u_tilde=BROKEN_U_TILDE,
+        seed=seed,
+        clock_style="extreme",
+        trace=trace,
+    )
+    checks = cps_check_set(params, simulation.honest, BROKEN_PULSES)
+    simulation.attach_checks(checks)
+    return simulation, checks, params
+
+
+def run_broken_fixture(
+    seed: int = 2,
+) -> Tuple[List[MonitorVerdict], Any]:
+    """Execute the broken fixture; returns ``(verdicts, result)``.
+
+    At least one verdict carries a violation — asserted by the test
+    suite and by ``repro check fixture``.
+    """
+    simulation, checks, _params = build_broken_simulation(seed=seed)
+    result = simulation.run(max_pulses=BROKEN_PULSES)
+    return checks.finish(), result

@@ -1,0 +1,507 @@
+"""Streaming theorem-bound monitors.
+
+Each :class:`Monitor` watches one guarantee of the paper *online*: it is
+fed pulses and protocol annotations as the simulation executes (through
+the :class:`~repro.sim.runtime.SimulationChecks` hook) and emits
+structured :class:`Violation` records the moment a bound is exceeded.
+Monitors hold only the state a streaming evaluation needs — per-pulse
+aggregates are discarded as soon as every honest node has contributed —
+so they compose with arbitrarily long runs and with the
+``TraceLevel.PULSES`` fast path (no full trace is ever allocated).
+
+The five monitors and their claims:
+
+===================== ===============================================
+:class:`SkewBoundMonitor`        Theorem 17 — per-pulse skew ``<= S``
+:class:`PeriodWindowMonitor`     Theorem 17 — periods in
+                                 ``[P_min, P_max]``
+:class:`ProgressMonitor`         Theorem 17 (liveness) — every honest
+                                 node pulses each round, times strictly
+                                 increase
+:class:`TcbConsistencyMonitor`   Lemma 11 — honest acceptances of one
+                                 dealer within the consistency window
+:class:`ApaContractionMonitor`   Theorem 9 — honest range halves per
+                                 APA iteration
+===================== ===============================================
+
+All bounds come from :mod:`repro.analysis.theory` /
+:class:`~repro.core.params.ProtocolParameters`; the shared numerical
+tolerance matches the ``1e-9`` the experiment tables use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.runtime import SimulationChecks
+from repro.sync.crusader import BOT
+
+#: Numerical slack applied to every bound comparison (matches the
+#: experiment tables' tolerance).
+TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed breach of a paper guarantee, with full context."""
+
+    monitor: str
+    message: str
+    observed: float
+    bound: float
+    time: Optional[float] = None
+    node: Optional[int] = None
+    pulse: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "monitor": self.monitor,
+            "message": self.message,
+            "observed": self.observed,
+            "bound": self.bound,
+            "time": self.time,
+            "node": self.node,
+            "pulse": self.pulse,
+        }
+
+    def describe(self) -> str:
+        where = []
+        if self.pulse is not None:
+            where.append(f"pulse {self.pulse}")
+        if self.node is not None:
+            where.append(f"node {self.node}")
+        if self.time is not None:
+            where.append(f"t={self.time:.6g}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        return (
+            f"{self.monitor}: {self.message} "
+            f"(observed {self.observed:.6g}, bound {self.bound:.6g})"
+            f"{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class MonitorVerdict:
+    """A monitor's final judgement over one execution."""
+
+    monitor: str
+    claim: str
+    ok: bool
+    checked: int
+    violations: Tuple[Violation, ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "monitor": self.monitor,
+            "claim": self.claim,
+            "ok": self.ok,
+            "checked": self.checked,
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+class Monitor(SimulationChecks):
+    """Base class: a named guarantee evaluated online.
+
+    Subclasses override the event hooks they need and may implement
+    :meth:`on_finish` for end-of-run checks (partial aggregates, counts).
+    ``checked`` counts the individual bound comparisons performed, so a
+    "pass" verdict distinguishes *held N times* from *never evaluated*.
+    """
+
+    name: str = "monitor"
+    claim: str = ""
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self.checked = 0
+        self._finished = False
+
+    # -- event hooks ----------------------------------------------------
+
+    def on_pulse(
+        self, time: float, node: int, index: int, local_time: float
+    ) -> None:
+        """An honest node generated its ``index``-th pulse."""
+
+    def on_annotate(
+        self, time: float, node: int, kind: str, details: Any
+    ) -> None:
+        """A protocol annotation arrived (e.g. ``tcb-accept``)."""
+
+    def on_finish(self) -> None:
+        """Evaluate whatever must wait for the end of the run."""
+
+    # -- verdicts -------------------------------------------------------
+
+    def violate(self, message: str, observed: float, bound: float,
+                **context: Any) -> None:
+        self.violations.append(
+            Violation(
+                monitor=self.name,
+                message=message,
+                observed=observed,
+                bound=bound,
+                **context,
+            )
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def finish(self) -> MonitorVerdict:
+        """Run the end-of-run checks (once) and return the verdict."""
+        if not self._finished:
+            self._finished = True
+            self.on_finish()
+        return MonitorVerdict(
+            monitor=self.name,
+            claim=self.claim,
+            ok=self.ok,
+            checked=self.checked,
+            violations=tuple(self.violations),
+        )
+
+
+class _PulseAggregate:
+    """Streaming (min, max, count) of one pulse index across nodes."""
+
+    __slots__ = ("low", "high", "count")
+
+    def __init__(self) -> None:
+        self.low = float("inf")
+        self.high = float("-inf")
+        self.count = 0
+
+    def add(self, time: float) -> None:
+        if time < self.low:
+            self.low = time
+        if time > self.high:
+            self.high = time
+        self.count += 1
+
+    @property
+    def spread(self) -> float:
+        return self.high - self.low
+
+
+class SkewBoundMonitor(Monitor):
+    """Theorem 17: every pulse's skew is at most ``S``.
+
+    Checked incrementally — the spread of a *partial* set of honest
+    pulse times only grows as more nodes contribute, so a breach can be
+    flagged the instant the second offending pulse arrives.  One
+    violation is recorded per pulse index.
+    """
+
+    name = "skew"
+    claim = "Theorem 17: pulse skew <= S"
+
+    def __init__(self, bound: float, honest_count: int) -> None:
+        super().__init__()
+        self.bound = bound
+        self.honest_count = honest_count
+        self._open: Dict[int, _PulseAggregate] = {}
+        self._flagged: set = set()
+
+    def on_pulse(
+        self, time: float, node: int, index: int, local_time: float
+    ) -> None:
+        entry = self._open.get(index)
+        if entry is None:
+            entry = self._open[index] = _PulseAggregate()
+        entry.add(time)
+        self.checked += 1
+        if (
+            entry.spread > self.bound + TOLERANCE
+            and index not in self._flagged
+        ):
+            self._flagged.add(index)
+            self.violate(
+                "pulse skew exceeds the Theorem 17 bound S",
+                observed=entry.spread,
+                bound=self.bound,
+                time=time,
+                node=node,
+                pulse=index,
+            )
+        if entry.count == self.honest_count:
+            del self._open[index]
+
+
+class PeriodWindowMonitor(Monitor):
+    """Theorem 17: consecutive pulses satisfy ``P_min``/``P_max``.
+
+    Definition 3's periods compare *global* extremes of consecutive
+    pulse indices, so a pair is evaluated as soon as both indices have
+    been completed by every honest node; earlier aggregates are then
+    discarded.  Indices left incomplete when the run stops are skipped
+    (matching how the experiment tables truncate to the common pulse
+    count).
+    """
+
+    name = "period"
+    claim = "Theorem 17: periods within [P_min, P_max]"
+
+    def __init__(
+        self, p_min: float, p_max: float, honest_count: int
+    ) -> None:
+        super().__init__()
+        self.p_min = p_min
+        self.p_max = p_max
+        self.honest_count = honest_count
+        self._open: Dict[int, _PulseAggregate] = {}
+        self._completed: Dict[int, _PulseAggregate] = {}
+
+    def on_pulse(
+        self, time: float, node: int, index: int, local_time: float
+    ) -> None:
+        entry = self._open.get(index)
+        if entry is None:
+            entry = self._open[index] = _PulseAggregate()
+        entry.add(time)
+        if entry.count < self.honest_count:
+            return
+        # Index complete: compare against its completed predecessor.
+        del self._open[index]
+        self._completed[index] = entry
+        previous = self._completed.pop(index - 1, None)
+        if previous is None:
+            return
+        self.checked += 1
+        minimum = entry.low - previous.high
+        maximum = entry.high - previous.low
+        if minimum < self.p_min - TOLERANCE:
+            self.violate(
+                "period below the Theorem 17 minimum P_min",
+                observed=minimum,
+                bound=self.p_min,
+                time=time,
+                pulse=index,
+            )
+        if maximum > self.p_max + TOLERANCE:
+            self.violate(
+                "period above the Theorem 17 maximum P_max",
+                observed=maximum,
+                bound=self.p_max,
+                time=time,
+                pulse=index,
+            )
+
+
+class ProgressMonitor(Monitor):
+    """Liveness: every honest node pulses each round, in strict order.
+
+    Streaming checks per node — indices increment by one and pulse
+    times strictly increase; at the end of the run every honest node
+    must have generated at least ``expected`` pulses.
+    """
+
+    name = "progress"
+    claim = "Theorem 17 (liveness): every honest node pulses each round"
+
+    def __init__(self, honest: Sequence[int], expected: int) -> None:
+        super().__init__()
+        self.honest = tuple(honest)
+        self.expected = expected
+        self._counts: Dict[int, int] = {v: 0 for v in self.honest}
+        self._last_time: Dict[int, float] = {}
+
+    def on_pulse(
+        self, time: float, node: int, index: int, local_time: float
+    ) -> None:
+        self.checked += 1
+        previous = self._counts.get(node, 0)
+        if index != previous + 1:
+            self.violate(
+                f"pulse index jumped from {previous} to {index}",
+                observed=float(index),
+                bound=float(previous + 1),
+                time=time,
+                node=node,
+                pulse=index,
+            )
+        self._counts[node] = index
+        last = self._last_time.get(node)
+        if last is not None and time <= last:
+            self.violate(
+                "pulse time did not strictly increase",
+                observed=time,
+                bound=last,
+                time=time,
+                node=node,
+                pulse=index,
+            )
+        self._last_time[node] = time
+
+    def on_finish(self) -> None:
+        for node in self.honest:
+            self.checked += 1
+            count = self._counts.get(node, 0)
+            if count < self.expected:
+                self.violate(
+                    f"node generated {count} of the expected "
+                    f"{self.expected} pulses",
+                    observed=float(count),
+                    bound=float(self.expected),
+                    node=node,
+                )
+
+
+class TcbConsistencyMonitor(Monitor):
+    """Lemma 11: honest acceptances of one dealer land close together.
+
+    Consumes the ``tcb-accept`` annotations the CPS node emits on
+    acceptance and the per-round ``cps-round`` summaries that reveal
+    which acceptances survived to a non-⊥ output.  For every
+    ``(round, dealer)`` group the real-time spread of surviving
+    acceptances must stay within the Lemma 11 consistency window
+    ``(1 - 1/theta) d + 2u / theta``.  Groups are evaluated (and freed)
+    once every honest node has reported its round summary; groups left
+    partial at the end of the run are evaluated as-is — a partial
+    spread only underestimates the true one, so this cannot
+    false-positive.
+    """
+
+    name = "tcb-consistency"
+    claim = "Lemma 11: acceptances of a dealer within the window"
+
+    def __init__(self, window: float, honest_count: int) -> None:
+        super().__init__()
+        self.window = window
+        self.honest_count = honest_count
+        # round -> dealer -> node -> acceptance real time
+        self._accepts: Dict[int, Dict[int, Dict[int, float]]] = {}
+        # round -> dealer -> node -> survived (estimate was not ⊥)
+        self._accepted: Dict[int, Dict[int, List[Tuple[int, bool]]]] = {}
+        self._summaries: Dict[int, int] = {}
+
+    def on_annotate(
+        self, time: float, node: int, kind: str, details: Any
+    ) -> None:
+        if kind == "tcb-accept":
+            pulse_round, dealer = details
+            per_round = self._accepts.setdefault(pulse_round, {})
+            per_round.setdefault(dealer, {})[node] = time
+        elif kind == "cps-round":
+            pulse_round = details.pulse_round
+            survivors = self._accepted.setdefault(pulse_round, {})
+            for dealer, estimate in details.estimates.items():
+                if dealer == node:
+                    continue
+                survivors.setdefault(dealer, []).append(
+                    (node, estimate is not BOT)
+                )
+            seen = self._summaries.get(pulse_round, 0) + 1
+            self._summaries[pulse_round] = seen
+            if seen == self.honest_count:
+                self._evaluate_round(pulse_round)
+
+    def _evaluate_round(self, pulse_round: int) -> None:
+        accepts = self._accepts.pop(pulse_round, {})
+        survivors = self._accepted.pop(pulse_round, {})
+        self._summaries.pop(pulse_round, None)
+        for dealer, reports in survivors.items():
+            times = [
+                accepts.get(dealer, {}).get(node)
+                for node, survived in reports
+                if survived
+            ]
+            times = [t for t in times if t is not None]
+            if len(times) < 2:
+                continue
+            self.checked += 1
+            spread = max(times) - min(times)
+            if spread > self.window + TOLERANCE:
+                self.violate(
+                    f"acceptances of dealer {dealer} spread beyond the "
+                    f"Lemma 11 window",
+                    observed=spread,
+                    bound=self.window,
+                    time=max(times),
+                    node=dealer,
+                    pulse=pulse_round,
+                )
+
+    def on_finish(self) -> None:
+        for pulse_round in sorted(self._accepted):
+            self._evaluate_round(pulse_round)
+
+
+class ApaContractionMonitor(Monitor):
+    """Theorem 9: the honest range at most halves every APA iteration.
+
+    Fed a range trajectory (index 0 = initial inputs) via
+    :meth:`observe_ranges`; each consecutive pair must satisfy
+    ``r_{i+1} <= r_i / 2`` and the final range must respect the
+    cumulative bound ``r_0 / 2^k``.
+    """
+
+    name = "apa-contraction"
+    claim = "Theorem 9: honest range halves per APA iteration"
+
+    def observe_ranges(self, ranges: Sequence[float]) -> None:
+        for index in range(len(ranges) - 1):
+            self.checked += 1
+            before, after = ranges[index], ranges[index + 1]
+            if after > before / 2.0 + TOLERANCE:
+                self.violate(
+                    f"iteration {index + 1} contracted "
+                    f"{before:.6g} -> {after:.6g} (needs halving)",
+                    observed=after,
+                    bound=before / 2.0,
+                    pulse=index + 1,
+                )
+        if len(ranges) >= 2:
+            self.checked += 1
+            iterations = len(ranges) - 1
+            cumulative = ranges[0] / (2.0 ** iterations)
+            if ranges[-1] > cumulative + TOLERANCE:
+                self.violate(
+                    f"final range after {iterations} iterations exceeds "
+                    f"the cumulative bound",
+                    observed=ranges[-1],
+                    bound=cumulative,
+                    pulse=iterations,
+                )
+
+
+class CheckSet(SimulationChecks):
+    """A fan-out of monitors, attachable to a simulation as one hook."""
+
+    __slots__ = ("monitors",)
+
+    def __init__(self, monitors: Sequence[Monitor]) -> None:
+        self.monitors = list(monitors)
+
+    def on_pulse(
+        self, time: float, node: int, index: int, local_time: float
+    ) -> None:
+        for monitor in self.monitors:
+            monitor.on_pulse(time, node, index, local_time)
+
+    def on_annotate(
+        self, time: float, node: int, kind: str, details: Any
+    ) -> None:
+        for monitor in self.monitors:
+            monitor.on_annotate(time, node, kind, details)
+
+    def finish(self) -> List[MonitorVerdict]:
+        """Finalize every monitor and collect the verdicts."""
+        return [monitor.finish() for monitor in self.monitors]
+
+    def violations(self) -> List[Violation]:
+        return [
+            violation
+            for monitor in self.monitors
+            for violation in monitor.violations
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return all(monitor.ok for monitor in self.monitors)
+
+    def names(self) -> List[str]:
+        return [monitor.name for monitor in self.monitors]

@@ -35,6 +35,22 @@ Subcommands
     non-zero on a regression (the CI perf gate).
 ``perf baseline [--out results/perf_baseline.json]``
     Re-record the baseline from the current ``BENCH_*.json`` files.
+``check list``
+    Show the conformance monitors (one per paper guarantee) and the
+    scenarios each applies to.
+``check run eclipse [--kind delay] [--monitor skew] [--scale quick]``
+    Conformance-run one registry scenario with streaming monitors
+    attached; non-zero exit on any violation.
+``check matrix [--scale quick] [--out results/conformance.json]``
+    Sweep every applicable registry scenario and render the
+    scenario x monitor pass/fail matrix (the CI conformance gate).
+``check fixture``
+    Run the deliberately-broken execution and verify the monitors
+    fire (exit non-zero if no violation is detected).
+
+``campaign run --check`` additionally conformance-runs every scenario
+the campaign references and, with ``--store``, persists the verdicts
+as ``<spec_key>.check.json`` (mirroring ``--perf``).
 """
 
 from __future__ import annotations
@@ -59,6 +75,27 @@ from repro.campaigns import (
 from repro.core.params import derive_parameters, max_faults
 
 
+def _unknown_name_exit(
+    name: str, noun: str, available: List[str]
+) -> SystemExit:
+    """A clean CLI error with a did-you-mean hint for close misses."""
+    close = difflib.get_close_matches(name, available, n=1)
+    hint = f" — did you mean {close[0]!r}?" if close else ""
+    return SystemExit(
+        f"unknown {noun} {name!r}{hint} "
+        f"(available: {', '.join(available)})"
+    )
+
+
+def _campaign_or_exit(name: str):
+    try:
+        return campaign_definition(name)
+    except KeyError:
+        raise _unknown_name_exit(
+            name, "campaign", available_campaigns()
+        ) from None
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     for name in sorted(EXPERIMENTS, key=lambda k: (k[0], len(k), k)):
         doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
@@ -67,6 +104,12 @@ def _command_list(_args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    # Validate the name up front: a KeyError raised *inside* a running
+    # experiment must surface as itself, not as "unknown experiment".
+    if args.experiment.upper() not in EXPERIMENTS:
+        raise _unknown_name_exit(
+            args.experiment, "experiment", sorted(EXPERIMENTS)
+        )
     table = run_experiment(args.experiment, scale=args.scale)
     print(table.render())
     if args.csv:
@@ -112,7 +155,7 @@ def _command_campaign_list(_args: argparse.Namespace) -> int:
 
 
 def _command_campaign_show(args: argparse.Namespace) -> int:
-    definition = campaign_definition(args.campaign)
+    definition = _campaign_or_exit(args.campaign)
     spec = definition.spec()
     info = spec.describe(args.scale)
     print(f"campaign {info['name']} [{info['scale']}] — "
@@ -140,7 +183,7 @@ def _command_campaign_show(args: argparse.Namespace) -> int:
 def _command_campaign_run(args: argparse.Namespace) -> int:
     if args.resume and not args.store:
         raise SystemExit("--resume requires --store")
-    definition = campaign_definition(args.campaign)
+    definition = _campaign_or_exit(args.campaign)
     store = ResultStore(args.store) if args.store else None
     policy = ExecutionPolicy(
         workers=args.workers,
@@ -175,10 +218,28 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
                 definition.spec().spec_key(args.scale), throughput
             )
             print(f"wrote {path}")
+    exit_code = 0 if run.failed == 0 else 1
+    if args.check:
+        from repro.checks import (
+            campaign_conformance,
+            render_campaign_conformance,
+        )
+
+        payload = campaign_conformance(definition.spec(), args.scale)
+        print(render_campaign_conformance(payload))
+        if store is not None:
+            path = store.write_summary(
+                definition.spec().spec_key(args.scale),
+                payload,
+                kind="check",
+            )
+            print(f"wrote {path}")
+        if not payload["pass"]:
+            exit_code = 1
     if args.csv:
         table.to_csv(args.csv)
         print(f"\nwrote {args.csv}")
-    return 0 if run.failed == 0 else 1
+    return exit_code
 
 
 def _command_scenarios_list(args: argparse.Namespace) -> int:
@@ -196,19 +257,17 @@ def _command_scenarios_show(args: argparse.Namespace) -> int:
         key = f"{args.kind}:{key}"
     matches = scenarios.find(key)
     if not matches:
-        # Re-raise through the registry for the did-you-mean hint.
+        # Surface the registry's did-you-mean hint as a clean exit.
         kind, _, bare = (
             key.partition(":") if ":" in key else (args.kind, "", key)
         )
         if kind:
-            scenarios.get(kind, bare)
-        close = difflib.get_close_matches(
-            key, sorted(set(scenarios.keys())), n=1
-        )
-        hint = f" — did you mean {close[0]!r}?" if close else ""
-        raise scenarios.UnknownScenarioError(
-            f"unknown scenario {args.key!r}{hint} "
-            f"(try 'repro scenarios list')"
+            try:
+                scenarios.get(kind, bare)
+            except scenarios.UnknownScenarioError as exc:
+                raise SystemExit(str(exc)) from None
+        raise _unknown_name_exit(
+            args.key, "scenario", sorted(set(scenarios.keys()))
         )
     if len(matches) > 1:
         names = ", ".join(entry.qualified for entry in matches)
@@ -250,9 +309,8 @@ def _command_perf_run(args: argparse.Namespace) -> int:
     names = args.case or available_cases()
     unknown = sorted(set(names) - set(available_cases()))
     if unknown:
-        raise SystemExit(
-            f"unknown perf case(s) {unknown}; "
-            f"available: {available_cases()}"
+        raise _unknown_name_exit(
+            unknown[0], "perf case", available_cases()
         )
     scale = "quick" if args.quick else "full"
     for name in names:
@@ -299,6 +357,136 @@ def _command_perf_baseline(args: argparse.Namespace) -> int:
     path = write_baseline(args.out, results, notes=args.notes)
     print(f"wrote baseline with {len(results)} case(s) to {path}")
     return 0
+
+
+DEFAULT_CONFORMANCE = os.path.join("results", "conformance.json")
+
+
+def _resolve_check_scenario(key: str, kind: Optional[str]):
+    """Resolve a (possibly qualified) scenario key for ``check run``."""
+    lookup = key
+    if kind and ":" not in lookup:
+        lookup = f"{kind}:{lookup}"
+    matches = scenarios.find(lookup)
+    if not matches:
+        raise _unknown_name_exit(
+            key,
+            "scenario",
+            sorted(set(scenarios.keys())),
+        )
+    if len(matches) > 1:
+        names = ", ".join(entry.qualified for entry in matches)
+        raise SystemExit(
+            f"{key!r} is ambiguous: {names} "
+            f"(qualify as kind:key or pass --kind)"
+        )
+    return matches[0]
+
+
+def _resolve_check_monitors(
+    requested: Optional[List[str]], kind: str, key: str
+) -> Optional[List[str]]:
+    """Validate ``--monitor`` names against catalog and applicability."""
+    if not requested:
+        return None
+    from repro.checks import MONITOR_CATALOG, applicable_monitors
+
+    names = list(MONITOR_CATALOG)
+    applicable = applicable_monitors(kind, key)
+    for name in requested:
+        if name not in names:
+            raise _unknown_name_exit(name, "monitor", names)
+        if name not in applicable:
+            raise SystemExit(
+                f"monitor {name!r} is not applicable to {kind}:{key} "
+                f"(applicable: {', '.join(applicable)})"
+            )
+    return list(requested)
+
+
+def _write_conformance_json(path: str, payload) -> None:
+    from repro.campaigns.store import dump_json_summary
+
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    dump_json_summary(path, payload)
+
+
+def _command_check_list(_args: argparse.Namespace) -> int:
+    from repro.checks import (
+        MONITOR_CATALOG,
+        applicable_monitors,
+    )
+
+    counts = {name: 0 for name in MONITOR_CATALOG}
+    for entry in scenarios.entries():
+        for name in applicable_monitors(entry.kind, entry.key):
+            counts[name] += 1
+    for name, claim in MONITOR_CATALOG.items():
+        print(f"{name:<16} {claim}  [{counts[name]} scenarios]")
+    return 0
+
+
+def _command_check_run(args: argparse.Namespace) -> int:
+    from repro.checks import check_scenario, render_report
+
+    entry = _resolve_check_scenario(args.key, args.kind)
+    monitors = _resolve_check_monitors(
+        args.monitor, entry.kind, entry.key
+    )
+    report = check_scenario(
+        entry.kind, entry.key, scale=args.scale, seed=args.seed
+    )
+    if monitors is not None:
+        from dataclasses import replace
+
+        report = replace(
+            report,
+            verdicts=tuple(
+                v for v in report.verdicts if v.monitor in monitors
+            ),
+        )
+    print(render_report(report))
+    return 0 if report.ok else 1
+
+
+def _command_check_matrix(args: argparse.Namespace) -> int:
+    from repro.checks import conformance_matrix, render_matrix
+
+    kinds = args.kind if args.kind else None
+    payload = conformance_matrix(
+        scale=args.scale, seed=args.seed, kinds=kinds
+    )
+    print(render_matrix(payload))
+    if args.out:
+        _write_conformance_json(args.out, payload)
+        print(f"wrote {args.out}")
+    return 0 if payload["pass"] else 1
+
+
+def _command_check_fixture(args: argparse.Namespace) -> int:
+    from repro.checks import run_broken_fixture
+
+    verdicts, _result = run_broken_fixture(seed=args.seed)
+    violations = [
+        violation
+        for verdict in verdicts
+        for violation in verdict.violations
+    ]
+    for violation in violations:
+        print(f"! {violation.describe()}")
+    if violations:
+        print(
+            f"broken fixture raised {len(violations)} violation(s) — "
+            f"the monitors fire"
+        )
+        return 0
+    print(
+        "broken fixture raised NO violations — the conformance engine "
+        "is not detecting anything"
+    )
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -398,6 +586,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-case throughput (events/sec) and, with "
         "--store, persist it as <spec_key>.perf.json",
     )
+    campaign_run_parser.add_argument(
+        "--check", action="store_true",
+        help="conformance-run every scenario the campaign references "
+        "and, with --store, persist verdicts as <spec_key>.check.json",
+    )
     campaign_run_parser.set_defaults(handler=_command_campaign_run)
 
     scenarios_parser = sub.add_parser(
@@ -429,6 +622,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="disambiguate keys that exist in several kinds",
     )
     scenarios_show_parser.set_defaults(handler=_command_scenarios_show)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="conformance engine (theorem-bound monitors over the "
+        "scenario registry)",
+    )
+    check_sub = check_parser.add_subparsers(
+        dest="check_command", required=True
+    )
+
+    check_sub.add_parser(
+        "list", help="list the conformance monitors and their claims"
+    ).set_defaults(handler=_command_check_list)
+
+    check_run_parser = check_sub.add_parser(
+        "run", help="conformance-run one registry scenario"
+    )
+    check_run_parser.add_argument(
+        "key", help="scenario key, optionally qualified as kind:key"
+    )
+    check_run_parser.add_argument(
+        "--kind", choices=scenarios.KINDS, default=None,
+        help="disambiguate keys that exist in several kinds",
+    )
+    check_run_parser.add_argument(
+        "--monitor", action="append",
+        help="restrict the report to this monitor (repeatable); must "
+        "be applicable to the scenario",
+    )
+    check_run_parser.add_argument(
+        "--scale", choices=("quick", "full"), default="quick"
+    )
+    check_run_parser.add_argument("--seed", type=int, default=0)
+    check_run_parser.set_defaults(handler=_command_check_run)
+
+    check_matrix_parser = check_sub.add_parser(
+        "matrix",
+        help="sweep every applicable registry scenario and render the "
+        "scenario x monitor pass/fail matrix",
+    )
+    check_matrix_parser.add_argument(
+        "--scale", choices=("quick", "full"), default="quick"
+    )
+    check_matrix_parser.add_argument("--seed", type=int, default=0)
+    check_matrix_parser.add_argument(
+        "--kind", action="append", choices=scenarios.KINDS,
+        help="restrict to one scenario kind (repeatable)",
+    )
+    check_matrix_parser.add_argument(
+        "--out", default=DEFAULT_CONFORMANCE,
+        help=f"JSON verdicts file (default {DEFAULT_CONFORMANCE}; "
+        "empty string to skip)",
+    )
+    check_matrix_parser.set_defaults(handler=_command_check_matrix)
+
+    check_fixture_parser = check_sub.add_parser(
+        "fixture",
+        help="run the deliberately-broken execution and verify the "
+        "monitors fire",
+    )
+    check_fixture_parser.add_argument("--seed", type=int, default=2)
+    check_fixture_parser.set_defaults(handler=_command_check_fixture)
 
     perf_parser = sub.add_parser(
         "perf", help="benchmark tracking (probes, baselines, CI gate)"

@@ -138,6 +138,11 @@ class CpsNode(TimedProtocol):
                 actions.set_finalize_timer,
                 ("finalize", self.pulse_round, dealer),
             )
+            # Observable acceptance (Lemma 11): conformance monitors
+            # group these by (round, dealer) and bound their real-time
+            # spread; instances later rejected to ⊥ are filtered out
+            # via the round summary's estimates.
+            api.annotate("tcb-accept", (self.pulse_round, dealer))
         if instance.resolved():
             self._maybe_complete(api)
 
@@ -271,13 +276,16 @@ def build_cps_simulation(
     seed: int = 0,
     trace: TraceSpec = True,
     clock_style: str = "random",
+    checks=None,
     **node_kwargs: Any,
 ) -> Simulation:
     """Wire a ready-to-run CPS simulation.
 
     ``node_kwargs`` are forwarded to :class:`CpsNode` (ablation hooks).
     Initial clock offsets are validated against the ``H_v(0) in [0, S]``
-    assumption of Figure 3.
+    assumption of Figure 3.  ``checks`` installs a streaming
+    :class:`~repro.sim.runtime.SimulationChecks` observer (conformance
+    monitors; see :mod:`repro.checks`).
     """
     config = NetworkConfig(params.n, params.d, params.u, u_tilde)
     if clocks is None:
@@ -295,4 +303,5 @@ def build_cps_simulation(
         delay_policy=delay_policy,
         f=params.f,
         trace=Trace(level=TraceLevel.coerce(trace)),
+        checks=checks,
     )

@@ -20,6 +20,39 @@ from typing import Any, Hashable
 from repro.crypto.signatures import Signature
 
 
+class SimulationChecks(abc.ABC):
+    """Streaming observer the simulator feeds as an execution unfolds.
+
+    Conformance monitors (:mod:`repro.checks`) implement this interface
+    and are attached to a :class:`~repro.sim.scheduler.Simulation` via
+    its ``checks=`` parameter (or :meth:`Simulation.attach_checks`).
+    The hook is fed directly from the scheduler — *independently of the
+    trace level* — so theorem-bound monitors compose with the
+    ``TraceLevel.PULSES``/``NONE`` fast paths without forcing full
+    per-message trace allocation.
+
+    Implementations must be passive: they may accumulate state and
+    record violations, but must not mutate the simulation.  The
+    scheduler guarantees the callbacks do not perturb event order, so
+    runs with and without checks produce identical pulse streams.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def on_pulse(
+        self, time: float, node: int, index: int, local_time: float
+    ) -> None:
+        """An honest node generated its ``index``-th pulse (1-based)."""
+
+    def on_annotate(
+        self, time: float, node: int, kind: str, details: Any
+    ) -> None:
+        """A protocol-specific annotation (same feed as the trace's
+        :class:`~repro.sim.trace.ProtocolRecord`, stamped with the real
+        time the scheduler observed)."""
+
+
 class NodeAPI(abc.ABC):
     """Capabilities the runtime grants to an honest protocol instance."""
 

@@ -49,7 +49,7 @@ from repro.sim.events import (
 )
 from repro.sim.knowledge import SignatureKnowledge
 from repro.sim.network import DelayPolicy, MaximumDelayPolicy, NetworkConfig
-from repro.sim.runtime import NodeAPI, TimedProtocol
+from repro.sim.runtime import NodeAPI, SimulationChecks, TimedProtocol
 from repro.sim.trace import (
     DeliveryRecord,
     SendRecord,
@@ -122,8 +122,12 @@ class _SimNodeAPI(NodeAPI):
         self._sim.record_pulse(self.node_id)
 
     def annotate(self, kind: str, details: Any) -> None:
-        self._sim.trace.protocol(
-            time=self._sim.now, node=self.node_id, kind=kind, details=details
+        sim = self._sim
+        checks = sim.checks
+        if checks is not None:
+            checks.on_annotate(sim.now, self.node_id, kind, details)
+        sim.trace.protocol(
+            time=sim.now, node=self.node_id, kind=kind, details=details
         )
 
 
@@ -244,6 +248,7 @@ class Simulation:
         delay_policy: Optional[DelayPolicy] = None,
         f: Optional[int] = None,
         trace: Optional[Trace] = None,
+        checks: Optional[SimulationChecks] = None,
     ) -> None:
         self.config = config
         if len(clocks) != config.n:
@@ -267,6 +272,7 @@ class Simulation:
         self.knowledge = SignatureKnowledge(self.faulty)
         self.queue = EventQueue()
         self.trace = trace if trace is not None else Trace()
+        self.checks = checks
         self.now = 0.0
         self.warnings: List[str] = []
         self.pulses: Dict[int, List[float]] = {
@@ -291,6 +297,14 @@ class Simulation:
     def protocol(self, node: int) -> TimedProtocol:
         """The protocol instance of an honest node (for diagnostics)."""
         return self._protocols[node]
+
+    def attach_checks(self, checks: Optional[SimulationChecks]) -> None:
+        """Install (or clear) the streaming conformance observer.
+
+        Must be called before :meth:`run`; the observer then receives
+        every honest pulse and protocol annotation of the execution.
+        """
+        self.checks = checks
 
     # ------------------------------------------------------------------
     # Message plumbing
@@ -360,11 +374,14 @@ class Simulation:
         quota = self._pulse_quota
         if quota is not None and len(pulse_list) == quota:
             self._quota_open -= 1
+        local = self.clocks[node].local_time(self.now)
+        if self.checks is not None:
+            self.checks.on_pulse(self.now, node, len(pulse_list), local)
         self.trace.pulse(
             time=self.now,
             node=node,
             index=len(pulse_list),
-            local_time=self.clocks[node].local_time(self.now),
+            local_time=local,
         )
         if self.behavior is not None and node not in self.faulty:
             self.behavior.on_pulse(

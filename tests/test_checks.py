@@ -1,0 +1,589 @@
+"""Tests for the conformance engine (streaming theorem-bound monitors)."""
+
+import json
+import os
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.campaigns import ResultStore
+from repro.checks import (
+    APA_MONITORS,
+    CPS_MONITORS,
+    MONITOR_CATALOG,
+    ApaContractionMonitor,
+    CheckSet,
+    PeriodWindowMonitor,
+    ProgressMonitor,
+    SkewBoundMonitor,
+    TcbConsistencyMonitor,
+    Violation,
+    applicable_monitors,
+    campaign_conformance,
+    campaign_scenarios,
+    check_scenario,
+    conformance_matrix,
+    cps_check_set,
+    render_matrix,
+    render_report,
+    run_broken_fixture,
+    run_cps_conformance,
+    scenario_case,
+    scenario_mode,
+)
+from repro.cli import main
+from repro.core.cps import build_cps_simulation
+from repro.core.params import derive_parameters
+from repro.scenarios import REGISTRY
+from repro.sim.adversary import SilentAdversary
+
+
+# ----------------------------------------------------------------------
+# Monitor unit tests (synthetic event feeds)
+# ----------------------------------------------------------------------
+
+
+class TestViolation:
+    def test_describe_includes_context(self):
+        violation = Violation(
+            monitor="skew",
+            message="too wide",
+            observed=2.0,
+            bound=1.0,
+            time=3.5,
+            node=4,
+            pulse=7,
+        )
+        text = violation.describe()
+        assert "skew" in text
+        assert "pulse 7" in text
+        assert "node 4" in text
+
+    def test_as_dict_round_trips_json(self):
+        violation = Violation("m", "msg", 1.0, 0.5)
+        assert json.loads(json.dumps(violation.as_dict()))["monitor"] == "m"
+
+
+class TestSkewBoundMonitor:
+    def test_within_bound_passes_and_frees_state(self):
+        monitor = SkewBoundMonitor(bound=1.0, honest_count=2)
+        for index in range(1, 4):
+            monitor.on_pulse(2.0 * index, 0, index, 0.0)
+            monitor.on_pulse(2.0 * index + 0.5, 1, index, 0.0)
+        assert monitor.finish().ok
+        assert monitor._open == {}
+
+    def test_violation_fires_on_partial_data(self):
+        monitor = SkewBoundMonitor(bound=1.0, honest_count=3)
+        monitor.on_pulse(0.0, 0, 1, 0.0)
+        monitor.on_pulse(1.5, 1, 1, 0.0)  # third node never pulses
+        verdict = monitor.finish()
+        assert not verdict.ok
+        assert verdict.violations[0].pulse == 1
+        assert verdict.violations[0].observed == pytest.approx(1.5)
+
+    def test_one_violation_per_index(self):
+        monitor = SkewBoundMonitor(bound=0.1, honest_count=3)
+        monitor.on_pulse(0.0, 0, 1, 0.0)
+        monitor.on_pulse(1.0, 1, 1, 0.0)
+        monitor.on_pulse(2.0, 2, 1, 0.0)
+        assert len(monitor.violations) == 1
+
+
+class TestPeriodWindowMonitor:
+    def _feed(self, monitor, rounds):
+        for index, (early, late) in enumerate(rounds, start=1):
+            monitor.on_pulse(early, 0, index, 0.0)
+            monitor.on_pulse(late, 1, index, 0.0)
+
+    def test_periods_within_window(self):
+        monitor = PeriodWindowMonitor(1.0, 3.0, honest_count=2)
+        self._feed(monitor, [(0.0, 0.5), (2.0, 2.5), (4.0, 4.5)])
+        verdict = monitor.finish()
+        assert verdict.ok
+        assert verdict.checked == 2
+
+    def test_min_period_violation(self):
+        monitor = PeriodWindowMonitor(1.0, 3.0, honest_count=2)
+        # Second round starts 0.6 after the first ends: below P_min=1.
+        self._feed(monitor, [(0.0, 0.5), (1.1, 1.5)])
+        verdict = monitor.finish()
+        assert not verdict.ok
+        assert "P_min" in verdict.violations[0].message
+
+    def test_max_period_violation(self):
+        monitor = PeriodWindowMonitor(1.0, 3.0, honest_count=2)
+        self._feed(monitor, [(0.0, 0.5), (2.0, 3.6)])
+        verdict = monitor.finish()
+        assert not verdict.ok
+        assert "P_max" in verdict.violations[0].message
+
+    def test_incomplete_final_index_skipped(self):
+        monitor = PeriodWindowMonitor(1.0, 3.0, honest_count=2)
+        self._feed(monitor, [(0.0, 0.5)])
+        monitor.on_pulse(0.1, 0, 2, 0.0)  # node 1 never reaches pulse 2
+        assert monitor.finish().ok
+
+
+class TestProgressMonitor:
+    def test_all_nodes_progress(self):
+        monitor = ProgressMonitor(honest=[0, 1], expected=2)
+        for index in (1, 2):
+            monitor.on_pulse(float(index), 0, index, 0.0)
+            monitor.on_pulse(float(index) + 0.1, 1, index, 0.0)
+        assert monitor.finish().ok
+
+    def test_missing_pulses_flagged_at_finish(self):
+        monitor = ProgressMonitor(honest=[0, 1], expected=2)
+        monitor.on_pulse(1.0, 0, 1, 0.0)
+        verdict = monitor.finish()
+        messages = [v.message for v in verdict.violations]
+        assert any("of the expected 2" in m for m in messages)
+        # Both the short node and the silent node are reported.
+        assert {v.node for v in verdict.violations} == {0, 1}
+
+    def test_non_increasing_time_flagged(self):
+        monitor = ProgressMonitor(honest=[0], expected=2)
+        monitor.on_pulse(1.0, 0, 1, 0.0)
+        monitor.on_pulse(1.0, 0, 2, 0.0)
+        assert not monitor.finish().ok
+
+
+class TestTcbConsistencyMonitor:
+    @staticmethod
+    def _summary(pulse_round, estimates):
+        return SimpleNamespace(pulse_round=pulse_round, estimates=estimates)
+
+    def test_tight_acceptances_pass(self):
+        monitor = TcbConsistencyMonitor(window=0.1, honest_count=2)
+        monitor.on_annotate(1.00, 0, "tcb-accept", (1, 5))
+        monitor.on_annotate(1.05, 1, "tcb-accept", (1, 5))
+        monitor.on_annotate(2.0, 0, "cps-round", self._summary(1, {5: 0.3}))
+        monitor.on_annotate(2.1, 1, "cps-round", self._summary(1, {5: 0.3}))
+        verdict = monitor.finish()
+        assert verdict.ok
+        assert verdict.checked == 1
+
+    def test_wide_spread_fires(self):
+        monitor = TcbConsistencyMonitor(window=0.1, honest_count=2)
+        monitor.on_annotate(1.0, 0, "tcb-accept", (1, 5))
+        monitor.on_annotate(1.5, 1, "tcb-accept", (1, 5))
+        monitor.on_annotate(2.0, 0, "cps-round", self._summary(1, {5: 0.3}))
+        monitor.on_annotate(2.1, 1, "cps-round", self._summary(1, {5: 0.3}))
+        verdict = monitor.finish()
+        assert not verdict.ok
+        violation = verdict.violations[0]
+        assert violation.node == 5
+        assert violation.observed == pytest.approx(0.5)
+
+    def test_rejected_acceptances_do_not_count(self):
+        from repro.sync.crusader import BOT
+
+        monitor = TcbConsistencyMonitor(window=0.1, honest_count=2)
+        monitor.on_annotate(1.0, 0, "tcb-accept", (1, 5))
+        monitor.on_annotate(1.5, 1, "tcb-accept", (1, 5))
+        # Node 1's instance was later rejected to ⊥ — its acceptance
+        # must not enter the Lemma 11 group.
+        monitor.on_annotate(2.0, 0, "cps-round", self._summary(1, {5: 0.3}))
+        monitor.on_annotate(2.1, 1, "cps-round", self._summary(1, {5: BOT}))
+        assert monitor.finish().ok
+
+    def test_partial_round_evaluated_at_finish(self):
+        monitor = TcbConsistencyMonitor(window=0.1, honest_count=3)
+        monitor.on_annotate(1.0, 0, "tcb-accept", (1, 5))
+        monitor.on_annotate(1.5, 1, "tcb-accept", (1, 5))
+        monitor.on_annotate(2.0, 0, "cps-round", self._summary(1, {5: 0.3}))
+        monitor.on_annotate(2.1, 1, "cps-round", self._summary(1, {5: 0.3}))
+        # The third summary never arrives; finish still judges the pair.
+        assert not monitor.finish().ok
+
+
+class TestApaContractionMonitor:
+    def test_halving_trajectory_passes(self):
+        monitor = ApaContractionMonitor()
+        monitor.observe_ranges([64.0, 32.0, 16.0, 8.0])
+        verdict = monitor.finish()
+        assert verdict.ok
+        assert verdict.checked == 4  # 3 pairs + cumulative bound
+
+    def test_slow_contraction_fires(self):
+        monitor = ApaContractionMonitor()
+        monitor.observe_ranges([64.0, 40.0])
+        verdict = monitor.finish()
+        assert not verdict.ok
+        assert verdict.violations[0].observed == pytest.approx(40.0)
+
+
+class TestCheckSet:
+    def test_fans_out_and_aggregates(self):
+        skew = SkewBoundMonitor(bound=0.1, honest_count=2)
+        progress = ProgressMonitor(honest=[0, 1], expected=1)
+        checks = CheckSet([skew, progress])
+        checks.on_pulse(0.0, 0, 1, 0.0)
+        checks.on_pulse(5.0, 1, 1, 5.0)
+        verdicts = checks.finish()
+        assert [v.monitor for v in verdicts] == ["skew", "progress"]
+        assert not checks.ok
+        assert len(checks.violations()) == 1
+
+
+# ----------------------------------------------------------------------
+# Scheduler integration: the checks= hook
+# ----------------------------------------------------------------------
+
+
+class _RecordingChecks(CheckSet):
+    """A CheckSet that also journals every callback it receives."""
+
+    __slots__ = ("pulses", "annotations")
+
+    def __init__(self, monitors=()):
+        super().__init__(monitors)
+        self.pulses = []
+        self.annotations = []
+
+    def on_pulse(self, time, node, index, local_time):
+        self.pulses.append((node, index, time))
+        super().on_pulse(time, node, index, local_time)
+
+    def on_annotate(self, time, node, kind, details):
+        self.annotations.append(kind)
+        super().on_annotate(time, node, kind, details)
+
+
+class TestChecksHook:
+    def _build(self, checks=None, trace="pulses"):
+        params = derive_parameters(1.001, 1.0, 0.02, 6)
+        faulty = list(range(6 - params.f, 6))
+        return build_cps_simulation(
+            params,
+            faulty=faulty,
+            behavior=SilentAdversary(),
+            seed=7,
+            clock_style="extreme",
+            trace=trace,
+            checks=checks,
+        )
+
+    def test_hook_sees_every_pulse_and_annotation(self):
+        checks = _RecordingChecks()
+        result = self._build(checks=checks).run(max_pulses=5)
+        observed = {}
+        for node, index, time in checks.pulses:
+            observed.setdefault(node, []).append(time)
+        assert observed == result.honest_pulses()
+        assert "cps-round" in checks.annotations
+        assert "tcb-accept" in checks.annotations
+
+    def test_hook_does_not_perturb_execution(self):
+        plain = self._build().run(max_pulses=5)
+        checked = self._build(checks=_RecordingChecks()).run(max_pulses=5)
+        assert plain.pulses == checked.pulses
+        assert plain.events_processed == checked.events_processed
+
+    def test_annotations_flow_at_pulses_trace_level(self):
+        """The hook is independent of the trace level: Lemma 11 data
+        arrives even when no ProtocolRecord is ever allocated."""
+        checks = _RecordingChecks()
+        result = self._build(checks=checks, trace="pulses").run(
+            max_pulses=5
+        )
+        assert "tcb-accept" in checks.annotations
+        assert len(result.trace.protocol_events()) == 0
+
+    def test_attach_checks_after_construction(self):
+        simulation = self._build()
+        checks = _RecordingChecks()
+        simulation.attach_checks(checks)
+        simulation.run(max_pulses=3)
+        assert checks.pulses
+
+
+# ----------------------------------------------------------------------
+# Conformance runs over the registry
+# ----------------------------------------------------------------------
+
+
+class TestScenarioApplicability:
+    def test_modes_cover_the_whole_registry(self):
+        for entry in REGISTRY.entries():
+            mode = scenario_mode(entry.kind, entry.key)
+            assert mode in ("cps", "apa")
+            monitors = applicable_monitors(entry.kind, entry.key)
+            assert monitors == (
+                APA_MONITORS if mode == "apa" else CPS_MONITORS
+            )
+
+    def test_apa_mode_is_exactly_the_apa_tagged_adversaries(self):
+        apa = {
+            entry.key
+            for entry in REGISTRY.entries("adversary")
+            if "apa" in entry.tags
+        }
+        assert apa == {
+            entry.key
+            for entry in REGISTRY.entries("adversary")
+            if scenario_mode("adversary", entry.key) == "apa"
+        }
+
+    def test_scenario_case_plugs_key_into_base(self):
+        case = scenario_case("delay", "eclipse")
+        assert case["delay"] == "eclipse"
+        assert case["adversary"] == "silent"
+        assert scenario_case("topology", "circulant")["n"] == 8
+
+
+class TestCheckScenario:
+    def test_cps_scenario_reports_all_monitors(self):
+        report = check_scenario("adversary", "mimic-split")
+        assert report.ok
+        assert tuple(v.monitor for v in report.verdicts) == CPS_MONITORS
+        assert all(v.checked > 0 for v in report.verdicts)
+        assert "PASS" in render_report(report)
+
+    def test_apa_scenario_reports_contraction(self):
+        report = check_scenario("adversary", "split-bot")
+        assert report.ok
+        assert report.mode == "apa"
+        assert [v.monitor for v in report.verdicts] == ["apa-contraction"]
+
+    def test_errors_are_tabulated_not_raised(self):
+        with pytest.raises(Exception):
+            REGISTRY.get("adversary", "no-such-key")
+        report = check_scenario("adversary", "no-such-key")
+        assert not report.ok
+        assert report.error is not None
+
+
+class TestConformanceMatrix:
+    def test_every_registry_scenario_passes_quick(self):
+        """The acceptance criterion: PASS for every applicable
+        scenario x monitor pair at quick scale."""
+        payload = conformance_matrix("quick")
+        assert payload["total"] == len(REGISTRY)
+        assert payload["failed"] == []
+        assert payload["pass"] is True
+        for entry in payload["scenarios"]:
+            assert entry["ok"], entry
+            expected = (
+                APA_MONITORS if entry["mode"] == "apa" else CPS_MONITORS
+            )
+            assert tuple(
+                v["monitor"] for v in entry["verdicts"]
+            ) == expected
+            assert all(v["ok"] for v in entry["verdicts"])
+
+    def test_matrix_payload_is_deterministic(self):
+        one = conformance_matrix("quick", kinds=("drift",))
+        two = conformance_matrix("quick", kinds=("drift",))
+        assert json.dumps(one, sort_keys=True) == json.dumps(
+            two, sort_keys=True
+        )
+
+    def test_render_lists_every_scenario(self):
+        payload = conformance_matrix("quick", kinds=("topology",))
+        text = render_matrix(payload)
+        for entry in REGISTRY.entries("topology"):
+            assert entry.qualified in text
+        assert "PASS" in text
+
+    def test_monitor_catalog_matches_columns(self):
+        payload = conformance_matrix("quick", kinds=("topology",))
+        assert payload["monitors"] == list(MONITOR_CATALOG)
+
+
+class TestBrokenFixture:
+    def test_monitors_fire_on_the_broken_execution(self):
+        """The acceptance criterion: the deliberately-broken adversary
+        fixture reports at least one Violation."""
+        verdicts, result = run_broken_fixture()
+        violations = [v for verdict in verdicts for v in verdict.violations]
+        assert violations
+        skew = [v for v in violations if v.monitor == "skew"]
+        assert skew, "the u_tilde >> u corner must break the skew bound"
+        assert all(v.observed > v.bound for v in skew)
+        # The run itself stays live — only the bound breaks.
+        assert result.honest_pulses()
+
+
+# ----------------------------------------------------------------------
+# Differential: trace levels and monitor verdicts (satellite 2)
+# ----------------------------------------------------------------------
+
+
+#: Seeded sample across all four registry kinds.
+DIFFERENTIAL_SAMPLE = (
+    ("adversary", "mimic-split", 101),
+    ("adversary", "coordinated-offset", 202),
+    ("delay", "eclipse", 303),
+    ("drift", "staggered", 404),
+    ("topology", "circulant", 505),
+)
+
+
+class TestTraceLevelDifferential:
+    @pytest.mark.parametrize("kind,key,seed", DIFFERENTIAL_SAMPLE)
+    def test_pulses_and_verdicts_identical_across_levels(
+        self, kind, key, seed
+    ):
+        case = scenario_case(kind, key)
+        by_level = {}
+        for level in ("pulses", "full"):
+            verdicts, result = run_cps_conformance(
+                case, pulses=6, seed=seed, trace=level
+            )
+            by_level[level] = (
+                result.pulses,
+                result.events_processed,
+                [v.as_dict() for v in verdicts],
+            )
+        assert by_level["pulses"] == by_level["full"]
+
+
+# ----------------------------------------------------------------------
+# Campaign integration: --check artifacts
+# ----------------------------------------------------------------------
+
+
+class TestCampaignConformance:
+    def test_scenarios_collected_from_grid(self):
+        from repro.analysis.experiments import e4_campaign
+
+        found = campaign_scenarios(e4_campaign(), "quick")
+        assert ("adversary", "mimic-split") in found
+        assert ("adversary", "silent") in found
+
+    def test_non_registry_axes_ignored(self):
+        from repro.analysis.experiments import e5_campaign
+
+        found = campaign_scenarios(e5_campaign(), "quick")
+        assert all(kind in ("adversary", "delay") for kind, _ in found)
+
+    def test_check_artifact_round_trips_byte_stably(self, tmp_path):
+        """The acceptance criterion: two runs with the same seed write
+        byte-identical <spec_key>.check.json artifacts."""
+        from repro.analysis.experiments import e1_campaign
+
+        spec = e1_campaign()
+        store = ResultStore(str(tmp_path))
+        key = spec.spec_key("quick")
+        contents = []
+        for _ in range(2):
+            payload = campaign_conformance(spec, "quick")
+            path = store.write_summary(key, payload, kind="check")
+            with open(path, "rb") as handle:
+                contents.append(handle.read())
+        assert contents[0] == contents[1]
+        loaded = store.load_summary(key, kind="check")
+        assert loaded["pass"] is True
+        assert loaded["campaign"] == "E1"
+        assert loaded["spec_key"] == key
+
+    def test_campaign_run_check_cli(self, tmp_path, capsys):
+        store = os.path.join(tmp_path, "store")
+        assert (
+            main(
+                ["campaign", "run", "E1", "--check", "--store", store]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "conformance [E1]: 3 referenced scenario(s)" in out
+        assert ".check.json" in out
+
+
+# ----------------------------------------------------------------------
+# CLI: repro check ...
+# ----------------------------------------------------------------------
+
+
+class TestCheckCli:
+    def test_list_names_every_monitor(self, capsys):
+        assert main(["check", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in MONITOR_CATALOG:
+            assert name in out
+
+    def test_run_single_scenario(self, capsys):
+        assert main(["check", "run", "eclipse"]) == 0
+        out = capsys.readouterr().out
+        assert "delay:eclipse" in out
+        assert "PASS" in out
+
+    def test_run_with_monitor_filter(self, capsys):
+        assert (
+            main(
+                [
+                    "check", "run", "random", "--kind", "drift",
+                    "--monitor", "skew",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "skew" in out
+        assert "tcb-consistency" not in out
+
+    def test_matrix_writes_verdicts_json(self, tmp_path, capsys):
+        out_path = os.path.join(tmp_path, "conformance.json")
+        assert (
+            main(
+                [
+                    "check", "matrix", "--kind", "drift",
+                    "--out", out_path,
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "drift:staggered" in text
+        with open(out_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["pass"] is True
+        assert payload["total"] == len(REGISTRY.entries("drift"))
+
+    def test_fixture_detects_violations(self, capsys):
+        assert main(["check", "fixture"]) == 0
+        out = capsys.readouterr().out
+        assert "the monitors fire" in out
+
+
+class TestCheckCliErrors:
+    def test_unknown_scenario_suggests_close_match(self):
+        with pytest.raises(SystemExit, match="did you mean 'eclipse'"):
+            main(["check", "run", "eclips"])
+
+    def test_ambiguous_key_requires_kind(self):
+        with pytest.raises(SystemExit, match="ambiguous"):
+            main(["check", "run", "random"])
+
+    def test_unknown_monitor_suggests_close_match(self):
+        with pytest.raises(SystemExit, match="did you mean 'skew'"):
+            main(["check", "run", "eclipse", "--monitor", "skw"])
+
+    def test_non_applicable_monitor_is_rejected(self):
+        with pytest.raises(SystemExit, match="not applicable"):
+            main(
+                [
+                    "check", "run", "eclipse",
+                    "--monitor", "apa-contraction",
+                ]
+            )
+
+    def test_apa_scenario_rejects_cps_monitor(self):
+        with pytest.raises(SystemExit, match="not applicable"):
+            main(["check", "run", "split-bot", "--monitor", "skew"])
+
+
+class TestVerdictFiltering:
+    def test_report_filter_keeps_requested_monitors(self):
+        report = check_scenario("delay", "minimum")
+        filtered = replace(
+            report,
+            verdicts=tuple(
+                v for v in report.verdicts if v.monitor == "skew"
+            ),
+        )
+        assert [v.monitor for v in filtered.verdicts] == ["skew"]
+        assert filtered.ok

@@ -27,7 +27,7 @@ class TestRun:
         assert os.path.exists(path)
 
     def test_unknown_experiment(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(SystemExit, match="unknown experiment"):
             main(["run", "E99"])
 
 
@@ -68,7 +68,7 @@ class TestCampaign:
             main(["campaign", "run", "E1", "--resume"])
 
     def test_unknown_campaign(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(SystemExit, match="unknown campaign"):
             main(["campaign", "run", "E99"])
 
 
@@ -109,3 +109,40 @@ class TestParams:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestErrorPaths:
+    """Unknown names exit cleanly with did-you-mean hints (no
+    tracebacks), and missing inputs produce actionable messages."""
+
+    def test_unknown_experiment_suggests_close_match(self):
+        with pytest.raises(SystemExit, match="did you mean 'E4'"):
+            main(["run", "E44"])
+
+    def test_unknown_campaign_suggests_close_match(self):
+        with pytest.raises(SystemExit, match="did you mean 'STRESS'"):
+            main(["campaign", "run", "STRES"])
+
+    def test_unknown_campaign_show(self):
+        with pytest.raises(SystemExit, match="unknown campaign"):
+            main(["campaign", "show", "E99"])
+
+    def test_unknown_perf_case_suggests_close_match(self):
+        with pytest.raises(
+            SystemExit, match="did you mean 'queue-churn'"
+        ):
+            main(["perf", "run", "--case", "queue-churns", "--quick"])
+
+    def test_perf_compare_missing_baseline(self, tmp_path):
+        missing = os.path.join(tmp_path, "nope.json")
+        with pytest.raises(SystemExit, match="baseline file not found"):
+            main(["perf", "compare", "--baseline", missing])
+
+    def test_unknown_scenario_show_suggests_close_match(self):
+        with pytest.raises(SystemExit, match="did you mean"):
+            main(["scenarios", "show", "eclips"])
+
+    def test_check_run_unknown_scenario_exit_code(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "run", "no-such-scenario-at-all"])
+        assert excinfo.value.code != 0

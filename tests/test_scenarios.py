@@ -313,14 +313,12 @@ class TestScenariosCli:
         ) == 0
         assert "drift:random" in capsys.readouterr().out
 
-    def test_show_unknown_key_raises_with_hint(self):
-        with pytest.raises(UnknownScenarioError, match="did you mean"):
+    def test_show_unknown_key_exits_with_hint(self):
+        with pytest.raises(SystemExit, match="did you mean"):
             main(["scenarios", "show", "delay:eclipsee"])
 
     def test_show_unknown_bare_key_also_hints(self):
-        with pytest.raises(
-            UnknownScenarioError, match="coordinated-offset"
-        ):
+        with pytest.raises(SystemExit, match="coordinated-offset"):
             main(["scenarios", "show", "cordinated-offset"])
 
     def test_run_stress_experiment_renders_table(self, capsys):
