@@ -197,10 +197,25 @@ COMMENTARY = {
         "paper's closing warning about balancing path lengths.  Every "
         "axis value is resolvable via `repro scenarios show <key>`.",
     ),
+    "CHURN-STRESS": (
+        "Fault-schedule churn campaign",
+        "Campaign-native: every churn profile (crash, rolling crashes, "
+        "crash-recover wave, late-join cohort, flapping node, adversary "
+        "handoff) against CPS, crossed with drift — and, at full scale, "
+        "size and delay — axes.  The paper's model is static, so this "
+        "campaign measures the *dynamics* the theorems do not cover: "
+        "crashed/dormant/corrupted nodes spend the `f` budget, "
+        "rejoining nodes restart behind the listen-then-join wrapper, "
+        "and rows report pulses-to-resync and the post-recovery "
+        "alignment envelope against the stable cohort alongside the "
+        "cohort's own Theorem 17 skew.  Judged by the stabilization "
+        "monitor (`repro check run <profile>`); semantics in "
+        "`docs/DYNAMICS.md`.",
+    ),
 }
 
 ORDER = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-         "A1", "A2", "A3", "STRESS"]
+         "A1", "A2", "A3", "STRESS", "CHURN-STRESS"]
 
 HEADER = f"""# EXPERIMENTS — paper claims, grids, and scenarios
 

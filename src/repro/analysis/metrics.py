@@ -6,12 +6,17 @@ nodes only — pass :meth:`SimulationResult.honest_pulses`).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.errors import ConfigurationError
 
 Pulses = Dict[int, List[float]]
+
+#: Numerical slack applied to bound comparisons (matches the experiment
+#: tables and the conformance monitors).
+TOLERANCE = 1e-9
 
 
 def common_pulse_count(pulses: Pulses) -> int:
@@ -111,3 +116,121 @@ def convergence_rounds(
         if value <= floor * factor:
             return index
     return len(trajectory)
+
+
+# ----------------------------------------------------------------------
+# Stabilization metrics (churn / membership dynamics)
+#
+# Under a fault schedule pulse *indices* stop aligning across nodes — a
+# node that missed three rounds is three indices behind — so the static
+# Definition 3 metrics above do not apply to disrupted nodes.  The
+# churn metrics instead align by *time*: a disrupted node's pulse is
+# compared against the nearest pulse of each reference (never-disrupted)
+# node, and re-synchronization is judged on that envelope.
+# ----------------------------------------------------------------------
+
+
+def nearest_pulse_gap(times: Sequence[float], t: float) -> float:
+    """``min_i |times[i] - t|`` over a *sorted* pulse train (inf if
+    empty)."""
+    if not times:
+        return float("inf")
+    index = bisect_left(times, t)
+    best = float("inf")
+    if index < len(times):
+        best = times[index] - t
+    if index > 0:
+        best = min(best, t - times[index - 1])
+    return best
+
+
+def alignment_envelope(
+    pulses: Pulses, reference: Sequence[int], t: float, bound: float
+) -> Optional[float]:
+    """Worst nearest-pulse gap of time ``t`` against the reference
+    cohort.
+
+    A reference node only participates while its recorded train covers
+    ``t`` (i.e. ``t <= last pulse + bound``) — runs stop mid-round, and
+    a train truncated *before* ``t`` would report a spurious gap.
+    Returns ``None`` when no reference covers ``t`` (the pulse is not
+    evaluable, e.g. the run's final instants).
+    """
+    worst: Optional[float] = None
+    for node in reference:
+        times = pulses.get(node, [])
+        if not times or t > times[-1] + bound:
+            continue
+        gap = nearest_pulse_gap(times, t)
+        if worst is None or gap > worst:
+            worst = gap
+    return worst
+
+
+@dataclass(frozen=True)
+class StabilizationReport:
+    """Re-synchronization summary of one node after one activation.
+
+    ``pulses_to_resync`` counts the node's pulses from the activation up
+    to and including the first pulse from which *every* later evaluable
+    pulse stays within ``bound`` of the reference cohort (``None`` when
+    the node never restabilizes — including when it never pulses again).
+    ``envelope`` is the worst evaluable post-resync gap; ``trajectory``
+    the full per-pulse envelope sequence (``nan`` for non-evaluable
+    pulses).
+    """
+
+    node: int
+    activated_at: float
+    pulses_to_resync: Optional[int]
+    envelope: float
+    trajectory: Tuple[float, ...]
+
+    @property
+    def resynced(self) -> bool:
+        return self.pulses_to_resync is not None
+
+
+def stabilization_report(
+    pulses: Pulses,
+    node: int,
+    activated_at: float,
+    reference: Sequence[int],
+    bound: float,
+) -> StabilizationReport:
+    """Judge one node's re-synchronization after an activation at
+    ``activated_at`` against the ``reference`` cohort (nodes active and
+    honest throughout; compare with ``bound`` = the skew bound ``S``).
+    """
+    post = [t for t in pulses.get(node, []) if t > activated_at]
+    envelopes = [
+        alignment_envelope(pulses, reference, t, bound) for t in post
+    ]
+    # Last offending pulse decides the resync index; trailing
+    # non-evaluable pulses (run truncation) are neutral.
+    resync_index: Optional[int] = 0 if post else None
+    for index, value in enumerate(envelopes):
+        if value is not None and value > bound + TOLERANCE:
+            resync_index = index + 1
+    if resync_index is not None and resync_index >= len(post):
+        resync_index = None  # never settled (or never pulsed again)
+    settled = (
+        envelopes[resync_index:] if resync_index is not None else []
+    )
+    evaluable = [value for value in settled if value is not None]
+    if resync_index is not None and not evaluable:
+        # Every settled pulse fell outside reference coverage: there is
+        # no evidence of alignment, so do not claim re-synchronization.
+        resync_index = None
+    return StabilizationReport(
+        node=node,
+        activated_at=activated_at,
+        pulses_to_resync=(
+            resync_index + 1 if resync_index is not None else None
+        ),
+        envelope=max(evaluable) if evaluable else float("nan"),
+        trajectory=tuple(
+            float("nan") if value is None else value
+            for value in envelopes
+        ),
+    )

@@ -35,7 +35,7 @@ from typing import Any, Callable, Dict, List, Tuple
 import networkx as nx
 
 from repro import scenarios
-from repro.analysis import theory
+from repro.analysis import metrics, theory
 from repro.analysis.runner import TrialOutcome, run_pulse_trial
 from repro.baselines.chain_relay import (
     ChainStretchAttack,
@@ -424,16 +424,22 @@ def build_registry_simulation(
     """Assemble a CPS simulation entirely from scenario-registry keys.
 
     The case names each behaviour by registry key — ``adversary``,
-    ``delay``, ``drift``, and optionally ``topology`` — with optional
-    ``*_params`` dicts forwarded to the factories.  Without a topology
-    the run uses the paper's base model (a clique with the given
-    ``d``/``u``); with one, the Appendix A translation is applied
-    first: the physical graph is overlaid with ``f + 1`` vertex-disjoint
-    paths per pair and CPS runs with the effective ``(d_eff, u_eff)``,
-    so measurements are compared against the *overlay's* bounds.
+    ``delay``, ``drift``, optionally ``topology``, and optionally
+    ``churn`` — with optional ``*_params`` dicts forwarded to the
+    factories.  Without a topology the run uses the paper's base model
+    (a clique with the given ``d``/``u``); with one, the Appendix A
+    translation is applied first: the physical graph is overlaid with
+    ``f + 1`` vertex-disjoint paths per pair and CPS runs with the
+    effective ``(d_eff, u_eff)``, so measurements are compared against
+    the *overlay's* bounds.
+
+    A ``churn`` key attaches a fault schedule through the scheduler's
+    dynamics hook; the schedule then owns the initial Byzantine set
+    (its ``corruptions`` count — crashes spend the rest of the ``f``
+    budget), and recovering nodes restart behind the resync wrapper.
 
     Returns ``(simulation, params, f, effective)``; shared by the
-    ``cps-stress`` builder and the conformance engine
+    ``cps-stress`` / ``cps-churn`` builders and the conformance engine
     (:mod:`repro.checks`), so conformance runs exercise byte-identical
     executions.
     """
@@ -460,7 +466,18 @@ def build_registry_simulation(
         params = derive_parameters(theta, d, u, n, f=case.get("f"))
         f = params.f
         effective = {"d_eff": d, "u_eff": u}
-    faulty = list(range(n - f, n)) if f else []
+    churn_key = case.get("churn")
+    dynamics = None
+    if churn_key is not None:
+        from repro.dynamics import ChurnController
+
+        schedule = scenarios.create(
+            "churn", churn_key, params, **case.get("churn_params", {})
+        )
+        dynamics = ChurnController(schedule, params)
+        faulty = schedule.initially_corrupted(n)
+    else:
+        faulty = list(range(n - f, n)) if f else []
     behavior = scenarios.create(
         "adversary", case.get("adversary", "silent"), params,
         **case.get("adversary_params", {})
@@ -478,8 +495,75 @@ def build_registry_simulation(
         seed=seed,
         trace=trace,
         checks=checks,
+        dynamics=dynamics,
     )
     return simulation, params, f, effective
+
+
+@register_builder("cps-churn")
+def cps_churn_trial(
+    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
+) -> Dict[str, Any]:
+    """One CPS run under a fault schedule, judged on re-stabilization.
+
+    The case follows :func:`build_registry_simulation` conventions plus
+    a mandatory ``churn`` registry key.  Static pulse-index metrics do
+    not apply to disrupted nodes, so the row reports the *stable
+    cohort's* skew (never-disturbed nodes stay index-aligned) and the
+    time-aligned stabilization metrics of
+    :mod:`repro.analysis.metrics` for every applied activation.
+    """
+    simulation, params, f, effective = build_registry_simulation(
+        case, seed, trace=measurement.trace
+    )
+    controller = simulation.dynamics
+    if controller is None:
+        raise TrialFailure("cps-churn cases must name a 'churn' profile")
+    result = simulation.run(max_pulses=measurement.pulses)
+    schedule = controller.schedule
+    stable = [
+        v
+        for v in schedule.stable_nodes(params.n)
+        if result.pulses[v]
+    ]
+    cohort = {v: result.pulses[v] for v in stable}
+    cohort_skew = (
+        metrics.max_skew(cohort, skip=measurement.warmup)
+        if stable
+        else float("inf")
+    )
+    reports = [
+        metrics.stabilization_report(
+            result.pulses, node, time, stable, params.S
+        )
+        for time, _kind, node in controller.activations_applied()
+    ]
+    resynced = [report for report in reports if report.resynced]
+    envelopes = [
+        report.envelope
+        for report in resynced
+        if report.envelope == report.envelope  # drop NaNs
+    ]
+    # "resynced" demands every *scheduled* activation was applied and
+    # healed — an activation whose trigger never fired (run too short)
+    # must not report vacuous success.
+    scheduled = len(schedule.activations())
+    return {
+        "f": f,
+        "corruptions": schedule.corruptions,
+        "disruptions": len(controller.applied),
+        "activations": scheduled,
+        "resynced": len(resynced) == len(reports) == scheduled,
+        "resync_pulses": max(
+            (report.pulses_to_resync for report in resynced), default=0
+        ),
+        "envelope": max(envelopes, default=0.0),
+        "cohort_skew": cohort_skew,
+        "bound_S": params.S,
+        "cohort_within": cohort_skew <= params.S + 1e-9,
+        "events": result.events_processed,
+        **effective,
+    }
 
 
 @register_builder("cps-stress")

@@ -51,6 +51,7 @@ SCENARIO_CASE_KEYS: Dict[str, str] = {
     "delay": "delay",
     "topology": "topology",
     "drift": "drift",
+    "churn": "churn",
 }
 
 

@@ -6,9 +6,9 @@ machine-checked over every scenario the engine can produce:
 ``monitors``
     :class:`Violation` / :class:`Monitor` / :class:`CheckSet` — the
     streaming invariant monitors (Theorem 17 skew and periods, liveness,
-    Lemma 11 TCB consistency, Theorem 9 APA contraction), fed online
-    through the scheduler's ``checks=`` hook so they compose with the
-    ``TraceLevel.PULSES`` fast path.
+    Lemma 11 TCB consistency, Theorem 9 APA contraction, churn
+    stabilization), fed online through the scheduler's ``checks=`` hook
+    so they compose with the ``TraceLevel.PULSES`` fast path.
 ``conformance``
     :func:`check_scenario` / :func:`conformance_matrix` — drop every
     scenario-registry entry into a reference configuration and judge it
@@ -18,8 +18,9 @@ machine-checked over every scenario the engine can produce:
     campaign references, persisted as ``<spec_key>.check.json``
     side-cars by ``repro campaign run --check``.
 ``fixtures``
-    The deliberately-broken execution (E8's ``u_tilde >> u`` corner)
-    proving the monitors actually fire.
+    The deliberately-broken executions (E8's ``u_tilde >> u`` corner;
+    the crash-without-recovery schedule) proving the monitors actually
+    fire.
 
 See ``docs/CONFORMANCE.md`` for the workflow.
 """
@@ -31,23 +32,29 @@ from repro.checks.campaign import (
 )
 from repro.checks.conformance import (
     APA_MONITORS,
+    CHURN_MONITORS,
     CPS_MONITORS,
+    MODE_MONITORS,
     MONITOR_CATALOG,
     ScenarioReport,
     applicable_monitors,
     check_scenario,
+    churn_check_set,
     conformance_matrix,
     cps_check_set,
     render_matrix,
     render_report,
     run_apa_conformance,
+    run_churn_conformance,
     run_cps_conformance,
     scenario_case,
     scenario_mode,
 )
 from repro.checks.fixtures import (
     build_broken_simulation,
+    build_churn_fixture,
     run_broken_fixture,
+    run_churn_fixture,
 )
 from repro.checks.monitors import (
     TOLERANCE,
@@ -58,13 +65,16 @@ from repro.checks.monitors import (
     PeriodWindowMonitor,
     ProgressMonitor,
     SkewBoundMonitor,
+    StabilizationMonitor,
     TcbConsistencyMonitor,
     Violation,
 )
 
 __all__ = [
     "APA_MONITORS",
+    "CHURN_MONITORS",
     "CPS_MONITORS",
+    "MODE_MONITORS",
     "MONITOR_CATALOG",
     "TOLERANCE",
     "ApaContractionMonitor",
@@ -75,13 +85,16 @@ __all__ = [
     "ProgressMonitor",
     "ScenarioReport",
     "SkewBoundMonitor",
+    "StabilizationMonitor",
     "TcbConsistencyMonitor",
     "Violation",
     "applicable_monitors",
     "build_broken_simulation",
+    "build_churn_fixture",
     "campaign_conformance",
     "campaign_scenarios",
     "check_scenario",
+    "churn_check_set",
     "conformance_matrix",
     "cps_check_set",
     "render_campaign_conformance",
@@ -89,6 +102,8 @@ __all__ = [
     "render_report",
     "run_apa_conformance",
     "run_broken_fixture",
+    "run_churn_conformance",
+    "run_churn_fixture",
     "run_cps_conformance",
     "scenario_case",
     "scenario_mode",

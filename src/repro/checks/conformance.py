@@ -17,6 +17,14 @@ execution modes cover the catalog:
     Round-model adversaries (``apa``-tagged) run iterated approximate
     agreement and are judged by :class:`ApaContractionMonitor`
     (Theorem 9).
+``churn``
+    Fault-schedule profiles (registry kind ``churn``) run CPS under
+    membership dynamics and are judged by
+    :class:`StabilizationMonitor`: scheduled recoveries must occur,
+    rejoiners must re-stabilize within a pulse budget, and survivors
+    must stay live.  The static Theorem 17 monitors do not apply — a
+    recovering node legitimately pulses outside the skew bound while it
+    contracts.
 
 Everything here is deterministic given ``seed`` — verdict payloads
 contain no wall-clock data — which is what makes persisted conformance
@@ -39,6 +47,7 @@ from repro.checks.monitors import (
     PeriodWindowMonitor,
     ProgressMonitor,
     SkewBoundMonitor,
+    StabilizationMonitor,
     TcbConsistencyMonitor,
 )
 from repro.core.params import ProtocolParameters, max_faults
@@ -52,6 +61,7 @@ MONITOR_CATALOG: Dict[str, str] = {
     ProgressMonitor.name: ProgressMonitor.claim,
     TcbConsistencyMonitor.name: TcbConsistencyMonitor.claim,
     ApaContractionMonitor.name: ApaContractionMonitor.claim,
+    StabilizationMonitor.name: StabilizationMonitor.claim,
 }
 
 #: Monitors applicable to each execution mode.
@@ -62,6 +72,14 @@ CPS_MONITORS: Tuple[str, ...] = (
     TcbConsistencyMonitor.name,
 )
 APA_MONITORS: Tuple[str, ...] = (ApaContractionMonitor.name,)
+CHURN_MONITORS: Tuple[str, ...] = (StabilizationMonitor.name,)
+
+#: Monitors per execution mode (used by the matrix renderer too).
+MODE_MONITORS: Dict[str, Tuple[str, ...]] = {
+    "cps": CPS_MONITORS,
+    "apa": APA_MONITORS,
+    "churn": CHURN_MONITORS,
+}
 
 #: The reference configuration conformance runs drop scenarios into —
 #: the STRESS campaign's base system in the typical regime.
@@ -80,6 +98,19 @@ TOPOLOGY_N = 8
 
 #: Pulses measured per scale (quick keeps the full matrix CI-friendly).
 PULSES_BY_SCALE: Dict[str, int] = {"quick": 8, "full": 20}
+
+#: Churn scenarios run longer: a rejoiner must catch up to the quota
+#: after losing pulses to its outage, and every scheduled event has to
+#: fire before the run ends.
+CHURN_PULSES_BY_SCALE: Dict[str, int] = {"quick": 14, "full": 28}
+
+#: Stabilization-monitor tolerances: a rejoiner may spend this many
+#: pulses contracting (the listen-then-join estimate is O(S), so a few
+#: Lemma 16 halvings suffice — the budget leaves headroom for adverse
+#: delay/drift draws), and a finally-active node must have pulsed
+#: within this many maximum periods of the run's end.
+RESYNC_PULSE_BUDGET = 6
+TAIL_WINDOW_PERIODS = 2.0
 
 #: APA reference run (mirrors the E1 campaign's n=9 row).
 APA_N = 9
@@ -148,26 +179,37 @@ class ScenarioReport:
 
 
 def scenario_mode(kind: str, key: str) -> str:
-    """``"cps"`` or ``"apa"`` — how a registry entry is conformance-run."""
+    """``"cps"``, ``"apa"``, or ``"churn"`` — how a registry entry is
+    conformance-run."""
     entry = REGISTRY.get(kind, key)
     if entry.kind == "adversary" and "apa" in entry.tags:
         return "apa"
+    if entry.kind == "churn":
+        return "churn"
     return "cps"
 
 
 def applicable_monitors(kind: str, key: str) -> Tuple[str, ...]:
     """Monitor names that apply to ``(kind, key)``."""
-    if scenario_mode(kind, key) == "apa":
-        return APA_MONITORS
-    return CPS_MONITORS
+    return MODE_MONITORS[scenario_mode(kind, key)]
 
 
-def scenario_case(kind: str, key: str) -> Dict[str, Any]:
-    """The reference case dict with ``(kind, key)`` plugged in."""
+def scenario_case(
+    kind: str,
+    key: str,
+    overrides: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The reference case dict with ``(kind, key)`` plugged in.
+
+    ``overrides`` become the entry's factory keyword arguments (the
+    ``<kind>_params`` case key) — the CLI's ``--param`` plumbing.
+    """
     case = dict(CPS_BASE_CASE)
     if kind == "topology":
         case["n"] = TOPOLOGY_N
     case[kind] = key
+    if overrides:
+        case[f"{kind}_params"] = dict(overrides)
     return case
 
 
@@ -197,8 +239,47 @@ def run_cps_conformance(
     return checks.finish(), result
 
 
+def churn_check_set(
+    schedule: Any, params: ProtocolParameters
+) -> CheckSet:
+    """The stabilization monitor for one churn deployment."""
+    return CheckSet(
+        [
+            StabilizationMonitor(
+                schedule,
+                params.n,
+                envelope=params.S,
+                resync_budget=RESYNC_PULSE_BUDGET,
+                tail_window=TAIL_WINDOW_PERIODS * params.p_max_bound,
+            )
+        ]
+    )
+
+
+def run_churn_conformance(
+    case: Dict[str, Any],
+    pulses: int,
+    seed: int,
+    trace: Any = "pulses",
+) -> Tuple[List[MonitorVerdict], Any]:
+    """Run one churn-keyed CPS case with the stabilization monitor.
+
+    Returns ``(verdicts, simulation_result)`` like
+    :func:`run_cps_conformance`.
+    """
+    simulation, params, _f, _effective = build_registry_simulation(
+        case, seed, trace=trace
+    )
+    checks = churn_check_set(simulation.dynamics.schedule, params)
+    simulation.attach_checks(checks)
+    result = simulation.run(max_pulses=pulses)
+    return checks.finish(), result
+
+
 def run_apa_conformance(
-    key: str, seed: int
+    key: str,
+    seed: int,
+    overrides: Optional[Dict[str, Any]] = None,
 ) -> Tuple[List[MonitorVerdict], Any]:
     """Run iterated APA under one registry adversary with the Theorem 9
     monitor."""
@@ -206,7 +287,7 @@ def run_apa_conformance(
     f = max_faults(n)
     faulty = list(range(n - f, n))
     iterations = math.ceil(math.log2(APA_INITIAL_RANGE / APA_TARGET))
-    adversary = REGISTRY.create("adversary", key, None)
+    adversary = REGISTRY.create("adversary", key, None, **(overrides or {}))
     honest = [v for v in range(n) if v not in faulty]
     inputs = {
         v: APA_INITIAL_RANGE * index / max(len(honest) - 1, 1)
@@ -226,24 +307,36 @@ def check_scenario(
     scale: str = "quick",
     seed: int = 0,
     trace: Any = "pulses",
+    overrides: Optional[Dict[str, Any]] = None,
 ) -> ScenarioReport:
     """Conformance-run one registry scenario and report per-monitor
     verdicts.
 
     ``seed`` is the *sweep* seed; the scenario's own seed is derived
-    from it deterministically.  Execution errors are tabulated (an
-    errored scenario fails conformance but never aborts a matrix
-    sweep).
+    from it deterministically.  ``overrides`` are forwarded to the
+    scenario factory (the CLI's ``--param``).  Execution errors are
+    tabulated (an errored scenario fails conformance but never aborts
+    a matrix sweep).
     """
     scenario_seed = conformance_seed(seed, kind, key)
-    pulses = PULSES_BY_SCALE.get(scale, PULSES_BY_SCALE["quick"])
     mode = "cps"
     try:
         mode = scenario_mode(kind, key)
         if mode == "apa":
-            verdicts, _outcome = run_apa_conformance(key, scenario_seed)
+            verdicts, _outcome = run_apa_conformance(
+                key, scenario_seed, overrides
+            )
+        elif mode == "churn":
+            pulses = CHURN_PULSES_BY_SCALE.get(
+                scale, CHURN_PULSES_BY_SCALE["quick"]
+            )
+            case = scenario_case(kind, key, overrides)
+            verdicts, _result = run_churn_conformance(
+                case, pulses, scenario_seed, trace=trace
+            )
         else:
-            case = scenario_case(kind, key)
+            pulses = PULSES_BY_SCALE.get(scale, PULSES_BY_SCALE["quick"])
+            case = scenario_case(kind, key, overrides)
             verdicts, _result = run_cps_conformance(
                 case, pulses, scenario_seed, trace=trace
             )
@@ -316,8 +409,8 @@ def render_matrix(payload: Dict[str, Any]) -> str:
         }
         for name, width in zip(monitors, widths):
             verdict = by_monitor.get(name)
-            if entry["error"] is not None and name in (
-                CPS_MONITORS if entry["mode"] == "cps" else APA_MONITORS
+            if entry["error"] is not None and name in MODE_MONITORS.get(
+                entry["mode"], ()
             ):
                 cell = "ERR"
             elif verdict is None:

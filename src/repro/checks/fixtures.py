@@ -1,15 +1,20 @@
-"""A deliberately-broken execution proving the monitors actually fire.
+"""Deliberately-broken executions proving the monitors actually fire.
 
 A conformance engine that always reports PASS is indistinguishable from
-one that checks nothing, so this module wires the one corner of the
-model where the paper *tells us* the guarantees collapse: faulty links
-undercutting the honest minimum delay (``u_tilde > u``).  Under the
-rushing-echo attack with ``u_tilde = 16 u`` (experiment E8's setup),
-rushed echoes force honest-dealer rejections and the measured skew
-provably exceeds Theorem 17's ``S`` — the monitors, parameterized for
-the *honest* ``u``, must therefore emit violations.
+one that checks nothing, so this module wires corners where the
+guarantees provably collapse:
 
-Both the test suite and ``repro check fixture`` run this and demand at
+* the **broken** fixture — faulty links undercutting the honest minimum
+  delay (``u_tilde = 16 u``, experiment E8's setup): rushed echoes
+  force honest-dealer rejections and the measured skew exceeds
+  Theorem 17's ``S``, so the static monitors must emit violations;
+* the **churn** fixture — a crash whose scheduled recovery silently
+  never happens: the execution runs a crash-only schedule while the
+  :class:`~repro.checks.monitors.StabilizationMonitor` is configured
+  with the *intended* schedule (crash then recover), exactly the
+  observability a real deployment needs when a node fails to come back.
+
+Both the test suite and ``repro check fixture`` run these and demand at
 least one :class:`~repro.checks.monitors.Violation`.
 """
 
@@ -18,10 +23,11 @@ from __future__ import annotations
 from typing import Any, List, Tuple
 
 from repro import scenarios
-from repro.checks.conformance import cps_check_set
+from repro.checks.conformance import churn_check_set, cps_check_set
 from repro.checks.monitors import MonitorVerdict
 from repro.core.cps import build_cps_simulation
 from repro.core.params import derive_parameters
+from repro.dynamics import ChurnController, FaultEvent, FaultSchedule
 
 #: E8's model-violation regime: faulty links 16x faster than honest
 #: uncertainty permits.  The table shows the measured skew exceeding S.
@@ -66,4 +72,73 @@ def run_broken_fixture(
     """
     simulation, checks, _params = build_broken_simulation(seed=seed)
     result = simulation.run(max_pulses=BROKEN_PULSES)
+    return checks.finish(), result
+
+
+#: Churn fixture: the crash is real, the recovery never happens.
+CHURN_FIXTURE_N = 6
+CHURN_FIXTURE_THETA = 1.001
+CHURN_FIXTURE_D = 1.0
+CHURN_FIXTURE_U = 0.02
+CHURN_FIXTURE_CRASH_PULSE = 3
+CHURN_FIXTURE_RECOVER_PULSE = 6
+CHURN_FIXTURE_PULSES = 14
+
+
+def build_churn_fixture(seed: int = 3, trace: Any = "pulses"):
+    """A crash-without-recovery execution plus its watchdog monitor.
+
+    The *intended* schedule promises ``recover`` at pulse
+    :data:`CHURN_FIXTURE_RECOVER_PULSE`; the *executed* schedule drops
+    it, so the node stays down for good.  The stabilization monitor is
+    parameterized with the intended schedule and must report both the
+    missing recovery and the node's tail silence.
+
+    Returns ``(simulation, check_set, params)``.
+    """
+    params = derive_parameters(
+        CHURN_FIXTURE_THETA,
+        CHURN_FIXTURE_D,
+        CHURN_FIXTURE_U,
+        CHURN_FIXTURE_N,
+    )
+    crash = FaultEvent("crash", 0, at_pulse=CHURN_FIXTURE_CRASH_PULSE)
+    recover = FaultEvent(
+        "recover", 0, at_pulse=CHURN_FIXTURE_RECOVER_PULSE
+    )
+    executed = FaultSchedule(
+        events=(crash,),
+        corruptions=1,
+        description="crash only (the failure being detected)",
+    )
+    intended = FaultSchedule(
+        events=(crash, recover),
+        corruptions=1,
+        description="crash with the promised recovery",
+    )
+    simulation = build_cps_simulation(
+        params,
+        faulty=executed.initially_corrupted(params.n),
+        behavior=scenarios.create("adversary", "silent", params),
+        seed=seed,
+        clock_style="extreme",
+        trace=trace,
+        dynamics=ChurnController(executed, params),
+    )
+    checks = churn_check_set(intended, params)
+    simulation.attach_checks(checks)
+    return simulation, checks, params
+
+
+def run_churn_fixture(
+    seed: int = 3,
+) -> Tuple[List[MonitorVerdict], Any]:
+    """Execute the crash-without-recovery fixture.
+
+    The stabilization monitor must fire (missing recovery + tail
+    silence) — asserted by the test suite and by
+    ``repro check fixture --fixture churn``.
+    """
+    simulation, checks, _params = build_churn_fixture(seed=seed)
+    result = simulation.run(max_pulses=CHURN_FIXTURE_PULSES)
     return checks.finish(), result

@@ -9,7 +9,7 @@ aggregates are discarded as soon as every honest node has contributed —
 so they compose with arbitrarily long runs and with the
 ``TraceLevel.PULSES`` fast path (no full trace is ever allocated).
 
-The five monitors and their claims:
+The six monitors and their claims:
 
 ===================== ===============================================
 :class:`SkewBoundMonitor`        Theorem 17 — per-pulse skew ``<= S``
@@ -22,7 +22,16 @@ The five monitors and their claims:
                                  dealer within the consistency window
 :class:`ApaContractionMonitor`   Theorem 9 — honest range halves per
                                  APA iteration
+:class:`StabilizationMonitor`    Churn — scheduled recoveries happen,
+                                 disrupted nodes re-stabilize within a
+                                 pulse budget, survivors stay live
 ===================== ===============================================
+
+:class:`StabilizationMonitor` is the one monitor that stores full pulse
+trains instead of streaming aggregates: re-synchronization is judged by
+nearest-pulse alignment, which needs pulses *after* the one under test.
+Churn runs are bounded (the conformance tiers cap pulses), so the state
+stays small; the other monitors keep their streaming discipline.
 
 All bounds come from :mod:`repro.analysis.theory` /
 :class:`~repro.core.params.ProtocolParameters`; the shared numerical
@@ -34,6 +43,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.metrics import stabilization_report
+from repro.dynamics.schedule import FaultSchedule
 from repro.sim.runtime import SimulationChecks
 from repro.sync.crusader import BOT
 
@@ -465,6 +476,163 @@ class ApaContractionMonitor(Monitor):
                     observed=ranges[-1],
                     bound=cumulative,
                     pulse=iterations,
+                )
+
+
+class StabilizationMonitor(Monitor):
+    """Churn: disruptions heal — recoveries fire, rejoiners re-stabilize.
+
+    Constructed from the *intended* :class:`FaultSchedule`, so the
+    monitor knows which membership changes an execution promised.  It
+    consumes the ``churn`` annotations the
+    :class:`~repro.dynamics.injector.ChurnController` emits (trace-level
+    independent, like every check) plus the honest pulse stream, and at
+    the end of the run verifies:
+
+    1. every scheduled activation (recover / join / restore) was
+       actually applied — a node that silently stays down is exactly
+       the failure mode the crash-without-recovery fixture proves
+       detectable;
+    2. each activated node re-stabilizes: within ``resync_budget`` of
+       its post-activation pulses, its nearest-pulse alignment envelope
+       against the stable cohort drops to ``envelope`` (the skew bound
+       ``S`` by default) and stays there;
+    3. tail liveness: every node the schedule expects to be active at
+       the end pulsed within ``tail_window`` of the run's last pulse.
+    """
+
+    name = "stabilization"
+    claim = (
+        "Churn: scheduled recoveries occur and disrupted nodes "
+        "re-stabilize to the cohort"
+    )
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        n: int,
+        envelope: float,
+        resync_budget: int,
+        tail_window: float,
+    ) -> None:
+        super().__init__()
+        self.schedule = schedule
+        self.n = n
+        self.envelope = envelope
+        self.resync_budget = resync_budget
+        self.tail_window = tail_window
+        self._pulses: Dict[int, List[float]] = {}
+        self._applied: List[Tuple[float, str, int]] = []
+
+    def on_pulse(
+        self, time: float, node: int, index: int, local_time: float
+    ) -> None:
+        self._pulses.setdefault(node, []).append(time)
+
+    def on_annotate(
+        self, time: float, node: int, kind: str, details: Any
+    ) -> None:
+        if kind == "churn":
+            self._applied.append((time, details["action"], node))
+
+    # -- end-of-run evaluation -----------------------------------------
+
+    def on_finish(self) -> None:
+        reference = [
+            v
+            for v in self.schedule.stable_nodes(self.n)
+            if self._pulses.get(v)
+        ]
+        self._check_activations(reference)
+        self._check_tail_liveness()
+
+    def _observed_activation(
+        self, kind: str, node: int, occurrence: int
+    ) -> Optional[float]:
+        """Time of the ``occurrence``-th applied ``(kind, node)``
+        change."""
+        seen = 0
+        for time, applied_kind, applied_node in self._applied:
+            if applied_kind == kind and applied_node == node:
+                if seen == occurrence:
+                    return time
+                seen += 1
+        return None
+
+    def _check_activations(self, reference: Sequence[int]) -> None:
+        occurrences: Dict[Tuple[str, int], int] = {}
+        for event in self.schedule.activations():
+            key = (event.kind, event.node)
+            occurrence = occurrences.get(key, 0)
+            occurrences[key] = occurrence + 1
+            self.checked += 1
+            time = self._observed_activation(
+                event.kind, event.node, occurrence
+            )
+            if time is None:
+                self.violate(
+                    f"scheduled {event.kind} of node {event.node} at "
+                    f"{event.trigger()} never occurred",
+                    observed=0.0,
+                    bound=1.0,
+                    node=event.node,
+                )
+                continue
+            report = stabilization_report(
+                self._pulses,
+                event.node,
+                time,
+                reference,
+                self.envelope,
+            )
+            self.checked += 1
+            if not report.resynced:
+                worst = max(
+                    (
+                        value
+                        for value in report.trajectory
+                        if value == value  # drop NaNs
+                    ),
+                    default=float("inf"),
+                )
+                self.violate(
+                    f"node {event.node} never re-stabilized after its "
+                    f"{event.kind}",
+                    observed=worst,
+                    bound=self.envelope,
+                    time=time,
+                    node=event.node,
+                )
+            elif report.pulses_to_resync > self.resync_budget:
+                self.violate(
+                    f"node {event.node} took {report.pulses_to_resync} "
+                    f"pulses to re-stabilize after its {event.kind}",
+                    observed=float(report.pulses_to_resync),
+                    bound=float(self.resync_budget),
+                    time=time,
+                    node=event.node,
+                )
+
+    def _check_tail_liveness(self) -> None:
+        last_any = max(
+            (times[-1] for times in self._pulses.values() if times),
+            default=None,
+        )
+        if last_any is None:
+            return
+        horizon = last_any - self.tail_window
+        for node in self.schedule.finally_active(self.n):
+            self.checked += 1
+            times = self._pulses.get(node, [])
+            last = times[-1] if times else float("-inf")
+            if last < horizon - TOLERANCE:
+                self.violate(
+                    f"node {node} fell silent: last pulse "
+                    f"{last_any - last:.6g} before the end of the run "
+                    f"(allowed {self.tail_window:.6g})",
+                    observed=last,
+                    bound=horizon,
+                    node=node,
                 )
 
 

@@ -20,9 +20,10 @@ Subcommands
     Execute a campaign through the sweep engine — serially or on a
     process pool — replaying cached trials from the result store, then
     print its table and execution summary.
-``scenarios list [--kind adversary|delay|topology|drift]``
+``scenarios list [--kind adversary|delay|topology|drift|churn]``
     Show the scenario registry: every adversary behaviour, delay
-    policy, topology, and drift profile a campaign case can name.
+    policy, topology, drift profile, and churn (fault-schedule)
+    profile a campaign case can name.
 ``scenarios show eclipse`` / ``scenarios show delay:random``
     Describe one entry: description, paper reference, parameters,
     tags.  Qualify with ``kind:`` when a key exists in several kinds.
@@ -38,15 +39,20 @@ Subcommands
 ``check list``
     Show the conformance monitors (one per paper guarantee) and the
     scenarios each applies to.
-``check run eclipse [--kind delay] [--monitor skew] [--scale quick]``
+``check run eclipse [--kind delay] [--monitor skew] [--scale quick]
+[--param key=value]``
     Conformance-run one registry scenario with streaming monitors
-    attached; non-zero exit on any violation.
+    attached; non-zero exit on any violation.  ``--param`` forwards
+    factory overrides (e.g. ``--param cycles=3`` on a churn profile);
+    malformed fault schedules exit cleanly with the validation error.
 ``check matrix [--scale quick] [--out results/conformance.json]``
     Sweep every applicable registry scenario and render the
     scenario x monitor pass/fail matrix (the CI conformance gate).
-``check fixture``
-    Run the deliberately-broken execution and verify the monitors
-    fire (exit non-zero if no violation is detected).
+``check fixture [--fixture broken|churn|all]``
+    Run the deliberately-broken executions and verify the monitors
+    fire (exit non-zero if no violation is detected): ``broken`` is
+    the E8 ``u_tilde >> u`` corner, ``churn`` the crash whose
+    scheduled recovery never happens.
 
 ``campaign run --check`` additionally conformance-runs every scenario
 the campaign references and, with ``--store``, persists the verdicts
@@ -73,6 +79,7 @@ from repro.campaigns import (
     run_summary_table,
 )
 from repro.core.params import derive_parameters, max_faults
+from repro.dynamics import MalformedScheduleError
 
 
 def _unknown_name_exit(
@@ -85,6 +92,29 @@ def _unknown_name_exit(
         f"unknown {noun} {name!r}{hint} "
         f"(available: {', '.join(available)})"
     )
+
+
+def _parse_param_overrides(pairs: Optional[List[str]]) -> dict:
+    """Parse repeated ``--param key=value`` flags into overrides.
+
+    Values are Python literals when they parse as one (ints, floats,
+    tuples, ``None``) and strings otherwise.
+    """
+    import ast
+
+    overrides = {}
+    for pair in pairs or []:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(
+                f"--param expects key=value, got {pair!r}"
+            )
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw
+        overrides[key] = value
+    return overrides
 
 
 def _campaign_or_exit(name: str):
@@ -262,10 +292,9 @@ def _command_scenarios_show(args: argparse.Namespace) -> int:
             key.partition(":") if ":" in key else (args.kind, "", key)
         )
         if kind:
-            try:
-                scenarios.get(kind, bare)
-            except scenarios.UnknownScenarioError as exc:
-                raise SystemExit(str(exc)) from None
+            # Surfaces the registry's did-you-mean hint; unwrapped from
+            # the KeyError repr by the main() handler.
+            scenarios.get(kind, bare)
         raise _unknown_name_exit(
             args.key, "scenario", sorted(set(scenarios.keys()))
         )
@@ -436,7 +465,11 @@ def _command_check_run(args: argparse.Namespace) -> int:
         args.monitor, entry.kind, entry.key
     )
     report = check_scenario(
-        entry.kind, entry.key, scale=args.scale, seed=args.seed
+        entry.kind,
+        entry.key,
+        scale=args.scale,
+        seed=args.seed,
+        overrides=_parse_param_overrides(args.param),
     )
     if monitors is not None:
         from dataclasses import replace
@@ -466,27 +499,37 @@ def _command_check_matrix(args: argparse.Namespace) -> int:
 
 
 def _command_check_fixture(args: argparse.Namespace) -> int:
-    from repro.checks import run_broken_fixture
+    from repro.checks import run_broken_fixture, run_churn_fixture
 
-    verdicts, _result = run_broken_fixture(seed=args.seed)
-    violations = [
-        violation
-        for verdict in verdicts
-        for violation in verdict.violations
-    ]
-    for violation in violations:
-        print(f"! {violation.describe()}")
-    if violations:
-        print(
-            f"broken fixture raised {len(violations)} violation(s) — "
-            f"the monitors fire"
-        )
-        return 0
-    print(
-        "broken fixture raised NO violations — the conformance engine "
-        "is not detecting anything"
+    runners = {
+        "broken": lambda: run_broken_fixture(seed=args.seed),
+        "churn": lambda: run_churn_fixture(seed=args.seed),
+    }
+    names = (
+        list(runners) if args.fixture == "all" else [args.fixture]
     )
-    return 1
+    exit_code = 0
+    for name in names:
+        verdicts, _result = runners[name]()
+        violations = [
+            violation
+            for verdict in verdicts
+            for violation in verdict.violations
+        ]
+        for violation in violations:
+            print(f"! {violation.describe()}")
+        if violations:
+            print(
+                f"{name} fixture raised {len(violations)} "
+                f"violation(s) — the monitors fire"
+            )
+        else:
+            print(
+                f"{name} fixture raised NO violations — the "
+                f"conformance engine is not detecting anything"
+            )
+            exit_code = 1
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -655,6 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("quick", "full"), default="quick"
     )
     check_run_parser.add_argument("--seed", type=int, default=0)
+    check_run_parser.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="scenario-factory override (repeatable), e.g. "
+        "--param cycles=3 on a churn profile",
+    )
     check_run_parser.set_defaults(handler=_command_check_run)
 
     check_matrix_parser = check_sub.add_parser(
@@ -679,10 +727,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     check_fixture_parser = check_sub.add_parser(
         "fixture",
-        help="run the deliberately-broken execution and verify the "
+        help="run the deliberately-broken executions and verify the "
         "monitors fire",
     )
     check_fixture_parser.add_argument("--seed", type=int, default=2)
+    check_fixture_parser.add_argument(
+        "--fixture", choices=("broken", "churn", "all"), default="all",
+        help="which broken execution to run: the E8 u~>>u corner "
+        "('broken'), the crash-without-recovery schedule ('churn'), "
+        "or both (default)",
+    )
     check_fixture_parser.set_defaults(handler=_command_check_fixture)
 
     perf_parser = sub.add_parser(
@@ -758,7 +812,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except scenarios.UnknownScenarioError as exc:
+        # KeyError wraps its message in repr; unwrap for a clean line.
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    except MalformedScheduleError as exc:
+        raise SystemExit(f"malformed fault schedule: {exc}") from None
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,12 +63,22 @@ class CpsNode(TimedProtocol):
         echo_rejection: bool = True,
         discard_rule: str = "f-b",
         dealer_send_offset: Optional[float] = None,
+        start_local: Optional[float] = None,
+        start_round: Optional[int] = None,
     ) -> None:
         if discard_rule not in ("f-b", "f"):
             raise ConfigurationError(
                 f"discard_rule must be 'f-b' or 'f', got {discard_rule!r}"
             )
         self.params = params
+        # First-pulse phase and round number; None = the Figure 3
+        # defaults (local time S, round 1).  The resynchronization
+        # wrapper (repro.dynamics.resync) injects the phase *and* the
+        # cohort round a recovering node voted for — TCB instances are
+        # tagged by round, so a rejoiner numbering its rounds from 1
+        # would discard every cohort message as a mismatch.
+        self.start_local = start_local
+        self.start_round = start_round
         self.echo_rejection = echo_rejection
         self.discard_rule = discard_rule
         self.dealer_send_offset = (
@@ -86,7 +96,12 @@ class CpsNode(TimedProtocol):
     # TimedProtocol interface
 
     def on_start(self, api: NodeAPI) -> None:
-        api.set_timer(self.params.S, ("pulse",))
+        first = (
+            self.params.S if self.start_local is None else self.start_local
+        )
+        if self.start_round is not None:
+            self.pulse_round = self.start_round - 1
+        api.set_timer(first, ("pulse",))
 
     def on_timer(self, api: NodeAPI, tag: Any) -> None:
         kind = tag[0]
@@ -277,6 +292,7 @@ def build_cps_simulation(
     trace: TraceSpec = True,
     clock_style: str = "random",
     checks=None,
+    dynamics=None,
     **node_kwargs: Any,
 ) -> Simulation:
     """Wire a ready-to-run CPS simulation.
@@ -285,7 +301,9 @@ def build_cps_simulation(
     Initial clock offsets are validated against the ``H_v(0) in [0, S]``
     assumption of Figure 3.  ``checks`` installs a streaming
     :class:`~repro.sim.runtime.SimulationChecks` observer (conformance
-    monitors; see :mod:`repro.checks`).
+    monitors; see :mod:`repro.checks`); ``dynamics`` installs a
+    :class:`~repro.sim.runtime.DynamicsHook` (churn schedules; see
+    :mod:`repro.dynamics`).
     """
     config = NetworkConfig(params.n, params.d, params.u, u_tilde)
     if clocks is None:
@@ -304,4 +322,5 @@ def build_cps_simulation(
         f=params.f,
         trace=Trace(level=TraceLevel.coerce(trace)),
         checks=checks,
+        dynamics=dynamics,
     )

@@ -27,6 +27,7 @@ from __future__ import annotations
 # Importing the catalog modules populates the process-wide registry.
 from repro.scenarios import (  # noqa: F401
     adversaries,
+    churn,
     delays,
     drift,
     topologies,

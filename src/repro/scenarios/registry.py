@@ -28,6 +28,11 @@ can be resolved uniformly from a case dict:
     ``factory(params, seed, **overrides) -> list[HardwareClock]`` — one
     clock per node, honouring ``H_v(0) in [0, S]`` and rates in
     ``[1, theta]``.
+``churn``
+    ``factory(params, **overrides) -> FaultSchedule`` — the membership
+    dynamics of a run (crashes, recoveries, late joins, Byzantine
+    flips), sized from ``params.n`` / ``params.f`` so one profile
+    composes with any deployment.
 
 Keyword ``overrides`` correspond to the entry's declared
 :class:`ParamSpec` list; unknown keywords raise ``TypeError`` from the
@@ -55,7 +60,13 @@ from typing import (
 )
 
 #: The scenario kinds the registry accepts, in display order.
-KINDS: Tuple[str, ...] = ("adversary", "delay", "topology", "drift")
+KINDS: Tuple[str, ...] = (
+    "adversary",
+    "delay",
+    "topology",
+    "drift",
+    "churn",
+)
 
 
 class UnknownScenarioError(KeyError):

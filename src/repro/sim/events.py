@@ -36,6 +36,11 @@ from typing import Any, Dict, List, Optional, Tuple
 PRIORITY_TIMER = 0
 PRIORITY_DELIVERY = 1
 PRIORITY_ADVERSARY = 2
+#: Membership changes (crash/recover/join/corrupt) run after everything
+#: else at the same instant: a node crashing "at t" still observes the
+#: deliveries and timers due at t, which keeps churn composable with the
+#: boundary-exact window semantics of Figure 2.
+PRIORITY_CHURN = 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,6 +67,18 @@ class AdversaryEvent:
     """A scheduled callback into the Byzantine behaviour."""
 
     tag: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """A scheduled membership change (crash/recover/join/corrupt/restore).
+
+    ``action`` is the :class:`~repro.dynamics.schedule.FaultEvent` to
+    execute; the scheduler hands it to the installed
+    :class:`~repro.sim.runtime.DynamicsHook`.
+    """
+
+    action: Any
 
 
 #: A queue entry as stored on the heap: ``(time, priority, seq)``.

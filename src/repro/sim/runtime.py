@@ -53,6 +53,37 @@ class SimulationChecks(abc.ABC):
         time the scheduler observed)."""
 
 
+class DynamicsHook(abc.ABC):
+    """Membership-dynamics driver the simulator consults during a run.
+
+    Churn controllers (:mod:`repro.dynamics`) implement this interface
+    and are attached to a :class:`~repro.sim.scheduler.Simulation` via
+    its ``dynamics=`` parameter.  The hook is the *only* sanctioned way
+    to mutate the node set mid-run: the scheduler calls :meth:`install`
+    once at construction time (to seed absolute-time churn events and
+    deactivate late joiners), :meth:`on_pulse` from the pulse-recording
+    path (to resolve pulse-relative triggers), and :meth:`apply` when a
+    churn event reaches the front of the queue.
+
+    When no hook is attached every call site is a single ``is None``
+    test, so static scenarios pay nothing and stay byte-identical.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def install(self, sim: Any) -> None:
+        """Called once from ``Simulation.__init__`` (before any event)."""
+
+    @abc.abstractmethod
+    def on_pulse(self, sim: Any, time: float, node: int, index: int) -> None:
+        """An honest node generated its ``index``-th pulse (1-based)."""
+
+    @abc.abstractmethod
+    def apply(self, sim: Any, action: Any) -> None:
+        """Execute one scheduled membership change at ``sim.now``."""
+
+
 class NodeAPI(abc.ABC):
     """Capabilities the runtime grants to an honest protocol instance."""
 

@@ -40,6 +40,7 @@ from repro.sim.clocks import EPS, HardwareClock
 from repro.sim.errors import ConfigurationError, SimulationError
 from repro.sim.events import (
     PRIORITY_ADVERSARY,
+    PRIORITY_CHURN,
     PRIORITY_DELIVERY,
     PRIORITY_TIMER,
     AdversaryEvent,
@@ -49,7 +50,12 @@ from repro.sim.events import (
 )
 from repro.sim.knowledge import SignatureKnowledge
 from repro.sim.network import DelayPolicy, MaximumDelayPolicy, NetworkConfig
-from repro.sim.runtime import NodeAPI, SimulationChecks, TimedProtocol
+from repro.sim.runtime import (
+    DynamicsHook,
+    NodeAPI,
+    SimulationChecks,
+    TimedProtocol,
+)
 from repro.sim.trace import (
     DeliveryRecord,
     SendRecord,
@@ -249,6 +255,7 @@ class Simulation:
         f: Optional[int] = None,
         trace: Optional[Trace] = None,
         checks: Optional[SimulationChecks] = None,
+        dynamics: Optional[DynamicsHook] = None,
     ) -> None:
         self.config = config
         if len(clocks) != config.n:
@@ -285,6 +292,7 @@ class Simulation:
         self._pulse_quota: Optional[int] = None
         self._quota_open = 0
 
+        self._protocol_factory = protocol_factory
         self._protocols: Dict[int, TimedProtocol] = {}
         self._apis: Dict[int, _SimNodeAPI] = {}
         for v in self.honest:
@@ -293,6 +301,12 @@ class Simulation:
 
         self.behavior = behavior
         self._adversary_ctx = AdversaryContext(self)
+
+        # Membership dynamics (churn) install last: the controller may
+        # deactivate late joiners and seed absolute-time churn events.
+        self.dynamics = dynamics
+        if dynamics is not None:
+            dynamics.install(self)
 
     def protocol(self, node: int) -> TimedProtocol:
         """The protocol instance of an honest node (for diagnostics)."""
@@ -305,6 +319,95 @@ class Simulation:
         every honest pulse and protocol annotation of the execution.
         """
         self.checks = checks
+
+    # ------------------------------------------------------------------
+    # Membership dynamics (the churn subsystem's mutation surface)
+    #
+    # These are the only sanctioned ways to change the node set mid-run.
+    # All of them keep the hot loop's hoisted references valid: the
+    # ``_protocols`` dict, ``faulty`` set, and ``knowledge`` object are
+    # mutated in place, never rebound.
+
+    def node_active(self, node: int) -> bool:
+        """Is ``node`` currently executing a protocol instance?"""
+        return node in self._protocols
+
+    def deactivate_node(self, node: int) -> None:
+        """Crash an honest node: it stops executing immediately.
+
+        Pending timers and deliveries addressed to the node are dropped
+        lazily when they surface (the main loop already tolerates
+        missing protocol instances).  The node's clock keeps running and
+        its recorded pulses are preserved, so a later
+        :meth:`activate_node` resumes the same pulse count.
+        """
+        if node in self.faulty:
+            raise SimulationError(
+                f"cannot crash node {node}: it is Byzantine "
+                f"(the adversary, not the scheduler, owns it)"
+            )
+        if node not in self._protocols:
+            raise SimulationError(f"node {node} is already inactive")
+        del self._protocols[node]
+        del self._apis[node]
+        quota = self._pulse_quota
+        if quota is not None and len(self.pulses[node]) < quota:
+            self._quota_open -= 1
+
+    def activate_node(self, node: int, protocol: TimedProtocol) -> None:
+        """(Re)start an honest node with a fresh protocol instance.
+
+        Used for crash recovery and late joins; ``protocol.on_start``
+        runs immediately at the current simulated time.
+        """
+        if node in self.faulty:
+            raise SimulationError(
+                f"cannot activate node {node}: it is Byzantine"
+            )
+        if node in self._protocols:
+            raise SimulationError(f"node {node} is already active")
+        self._protocols[node] = protocol
+        api = self._apis[node] = _SimNodeAPI(self, node)
+        quota = self._pulse_quota
+        if quota is not None and len(self.pulses[node]) < quota:
+            self._quota_open += 1
+        protocol.on_start(api)
+
+    def corrupt_node(self, node: int) -> None:
+        """Byzantine-flip an honest node: the adversary takes it over.
+
+        The node's protocol instance is discarded, its identity joins
+        the faulty set (the adversary may now sign with its key), and
+        the declared resilience budget ``f`` is enforced.
+        """
+        if node in self.faulty:
+            raise SimulationError(f"node {node} is already Byzantine")
+        if len(self.faulty) >= self.f:
+            raise SimulationError(
+                f"corrupting node {node} would exceed the declared "
+                f"budget f={self.f}"
+            )
+        if node in self._protocols:
+            self.deactivate_node(node)
+        self.faulty.add(node)
+        self.knowledge.faulty.add(node)
+        self.honest.remove(node)
+
+    def restore_node(self, node: int, protocol: TimedProtocol) -> None:
+        """Hand a Byzantine node back to the honest side and restart it.
+
+        The inverse of :meth:`corrupt_node` (adversary-handoff
+        scenarios): the identity leaves the faulty set — the adversary
+        may no longer sign for it — and rejoins as an honest, freshly
+        started node.
+        """
+        if node not in self.faulty:
+            raise SimulationError(f"node {node} is not Byzantine")
+        self.faulty.discard(node)
+        self.knowledge.faulty.discard(node)
+        self.honest.append(node)
+        self.honest.sort()
+        self.activate_node(node, protocol)
 
     # ------------------------------------------------------------------
     # Message plumbing
@@ -377,6 +480,8 @@ class Simulation:
         local = self.clocks[node].local_time(self.now)
         if self.checks is not None:
             self.checks.on_pulse(self.now, node, len(pulse_list), local)
+        if self.dynamics is not None:
+            self.dynamics.on_pulse(self, self.now, node, len(pulse_list))
         self.trace.pulse(
             time=self.now,
             node=node,
@@ -414,11 +519,19 @@ class Simulation:
             )
         self._pulse_quota = max_pulses
         if max_pulses is not None:
+            # Only *active* honest nodes gate the quota: a node crashed
+            # (or not yet joined) under a churn schedule re-enters the
+            # count when it is activated.  Without dynamics every honest
+            # node is active, matching the historical behaviour.
             self._quota_open = sum(
-                1 for v in self.honest if len(self.pulses[v]) < max_pulses
+                1
+                for v in self.honest
+                if v in self._protocols and len(self.pulses[v]) < max_pulses
             )
         for v in self.honest:
-            self._protocols[v].on_start(self._apis[v])
+            protocol = self._protocols.get(v)
+            if protocol is not None:  # dormant late joiners skip start
+                protocol.on_start(self._apis[v])
         if self.behavior is not None:
             self.behavior.on_start(self._adversary_ctx)
 
@@ -515,6 +628,10 @@ class Simulation:
                 elif priority == PRIORITY_ADVERSARY:
                     if behavior is not None:
                         behavior.on_wakeup(ctx, event.tag)
+                elif priority == PRIORITY_CHURN:
+                    # Reached only for events pushed by a DynamicsHook,
+                    # so the hook is present whenever this fires.
+                    self.dynamics.apply(self, event.action)
                 else:  # pragma: no cover - defensive
                     raise SimulationError(
                         f"unknown event priority {priority}: {event!r}"

@@ -307,13 +307,15 @@ class TestChecksHook:
 
 class TestScenarioApplicability:
     def test_modes_cover_the_whole_registry(self):
+        from repro.checks import MODE_MONITORS
+
         for entry in REGISTRY.entries():
             mode = scenario_mode(entry.kind, entry.key)
-            assert mode in ("cps", "apa")
+            assert mode in ("cps", "apa", "churn")
             monitors = applicable_monitors(entry.kind, entry.key)
-            assert monitors == (
-                APA_MONITORS if mode == "apa" else CPS_MONITORS
-            )
+            assert monitors == MODE_MONITORS[mode]
+            if entry.kind == "churn":
+                assert mode == "churn"
 
     def test_apa_mode_is_exactly_the_apa_tagged_adversaries(self):
         apa = {
@@ -364,11 +366,11 @@ class TestConformanceMatrix:
         assert payload["total"] == len(REGISTRY)
         assert payload["failed"] == []
         assert payload["pass"] is True
+        from repro.checks import MODE_MONITORS
+
         for entry in payload["scenarios"]:
             assert entry["ok"], entry
-            expected = (
-                APA_MONITORS if entry["mode"] == "apa" else CPS_MONITORS
-            )
+            expected = MODE_MONITORS[entry["mode"]]
             assert tuple(
                 v["monitor"] for v in entry["verdicts"]
             ) == expected

@@ -146,3 +146,110 @@ class TestErrorPaths:
         with pytest.raises(SystemExit) as excinfo:
             main(["check", "run", "no-such-scenario-at-all"])
         assert excinfo.value.code != 0
+
+
+class TestChurnErrorPaths:
+    """Unknown churn profiles and malformed fault schedules exit
+    cleanly and non-zero — never with a traceback."""
+
+    def test_unknown_churn_profile_did_you_mean(self):
+        with pytest.raises(
+            SystemExit, match="did you mean 'single-crash'"
+        ) as excinfo:
+            main(["check", "run", "single-crsh", "--kind", "churn"])
+        assert excinfo.value.code != 0
+
+    def test_scenarios_show_unknown_churn_profile(self):
+        with pytest.raises(
+            SystemExit, match="did you mean 'flapping-node'"
+        ) as excinfo:
+            main(["scenarios", "show", "churn:flapping-nod"])
+        assert excinfo.value.code != 0
+
+    def test_malformed_schedule_is_tabulated_not_raised(self, capsys):
+        # A factory override producing an invalid schedule fails the
+        # conformance run (exit 1) with the validation error in the
+        # report — no traceback.
+        code = main(
+            [
+                "check", "run", "single-crash", "--kind", "churn",
+                "--param", "node=99",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "MalformedScheduleError" in out
+        assert "outside the system" in out
+
+    def test_unknown_factory_param_is_tabulated(self, capsys):
+        code = main(
+            [
+                "check", "run", "flapping-node", "--kind", "churn",
+                "--param", "bogus=1",
+            ]
+        )
+        assert code == 1
+        assert "unexpected keyword" in capsys.readouterr().out
+
+    def test_bad_param_syntax(self):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(
+                [
+                    "check", "run", "single-crash", "--kind", "churn",
+                    "--param", "nodeless",
+                ]
+            )
+
+    def test_main_converts_malformed_schedule_errors(self, capsys):
+        # A schedule error escaping a handler (here: forced through a
+        # campaign whose case names an invalid churn override) becomes
+        # a clean SystemExit via the main() wrapper.
+        from repro.cli import main as cli_main
+        from repro.dynamics import MalformedScheduleError
+
+        def handler(_args):
+            raise MalformedScheduleError("synthetic failure")
+
+        import repro.cli as cli_module
+
+        parser = cli_module.build_parser()
+        args = parser.parse_args(["check", "list"])
+        args.handler = handler
+        import unittest.mock as mock
+
+        with mock.patch.object(
+            cli_module, "build_parser"
+        ) as fake_parser:
+            fake_parser.return_value.parse_args.return_value = args
+            with pytest.raises(
+                SystemExit, match="malformed fault schedule"
+            ) as excinfo:
+                cli_main(["check", "list"])
+        assert excinfo.value.code != 0
+
+
+class TestChurnCli:
+    def test_scenarios_list_includes_churn_kind(self, capsys):
+        assert main(["scenarios", "list", "--kind", "churn"]) == 0
+        out = capsys.readouterr().out
+        for key in ("single-crash", "late-join-cohort",
+                    "adversary-handoff"):
+            assert key in out
+
+    def test_check_run_churn_profile_passes(self, capsys):
+        assert main(["check", "run", "single-crash"]) == 0
+        out = capsys.readouterr().out
+        assert "stabilization" in out
+        assert "[churn]" in out
+
+    def test_check_fixture_churn_fires(self, capsys):
+        assert main(["check", "fixture", "--fixture", "churn"]) == 0
+        out = capsys.readouterr().out
+        assert "never occurred" in out
+        assert "monitors fire" in out
+
+    def test_campaign_run_churn_stress(self, capsys):
+        assert main(["campaign", "run", "CHURN-STRESS"]) == 0
+        out = capsys.readouterr().out
+        assert "fault schedules" in out
+        assert "0 failed" in out

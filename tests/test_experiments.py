@@ -19,7 +19,7 @@ class TestRegistry:
     def test_all_registered(self, tables):
         assert set(tables) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-            "A1", "A2", "A3", "STRESS",
+            "A1", "A2", "A3", "STRESS", "CHURN-STRESS",
         }
 
     def test_unknown_experiment_rejected(self):
