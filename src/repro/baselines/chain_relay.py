@@ -41,7 +41,7 @@ from repro.sim.errors import ConfigurationError
 from repro.sim.network import DelayPolicy, NetworkConfig
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.scheduler import Simulation
-from repro.sim.trace import DeliveryRecord, Trace, TraceLevel, TraceSpec
+from repro.sim.trace import DeliveryRecord, Trace, TraceSpec
 
 
 def chain_tag(pulse_round: int) -> Tuple[str, int]:
@@ -336,5 +336,5 @@ def build_chain_simulation(
         behavior=behavior,
         delay_policy=delay_policy,
         f=params.f,
-        trace=Trace(level=TraceLevel.coerce(trace)),
+        trace=Trace.from_spec(trace),
     )

@@ -35,7 +35,7 @@ from repro.sim.clocks import EPS, HardwareClock, validate_initial_skew
 from repro.sim.network import DelayPolicy, NetworkConfig
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.scheduler import Simulation
-from repro.sim.trace import Trace, TraceLevel, TraceSpec
+from repro.sim.trace import Trace, TraceSpec
 from repro.sync.approx_agreement import midpoint_rule
 
 
@@ -228,5 +228,5 @@ def build_lw_simulation(
         behavior=behavior,
         delay_policy=delay_policy,
         f=params.f,
-        trace=Trace(level=TraceLevel.coerce(trace)),
+        trace=Trace.from_spec(trace),
     )

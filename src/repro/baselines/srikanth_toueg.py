@@ -28,7 +28,7 @@ from repro.sim.errors import ConfigurationError
 from repro.sim.network import DelayPolicy, NetworkConfig
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.scheduler import Simulation
-from repro.sim.trace import Trace, TraceLevel, TraceSpec
+from repro.sim.trace import Trace, TraceSpec
 
 
 def st_tag(pulse_round: int) -> Tuple[str, int]:
@@ -260,5 +260,5 @@ def build_st_simulation(
         behavior=behavior,
         delay_policy=delay_policy,
         f=params.f,
-        trace=Trace(level=TraceLevel.coerce(trace)),
+        trace=Trace.from_spec(trace),
     )

@@ -281,6 +281,8 @@ def execute_campaign(
     policy: Optional[ExecutionPolicy] = None,
     store: Optional[Any] = None,
     reuse: bool = True,
+    instrumentation: Optional[Any] = None,
+    progress: Optional[Callable[[int, int, TrialRecord], None]] = None,
 ) -> CampaignRun:
     """Run (or replay) every trial of ``spec`` at ``scale``.
 
@@ -292,6 +294,15 @@ def execute_campaign(
     deterministic and are cached like successes; pool-level failures
     (timeouts, broken pools) are environment artifacts and are *not*
     persisted, so a later run retries them.
+
+    ``instrumentation`` (a :class:`~repro.telemetry.campaign.
+    InstrumentationPlan`) routes executed trials through the telemetry
+    wrapper — an execution-time option that deliberately does not enter
+    ``case_key``/``spec_key`` hashing, since instrumented trials produce
+    identical metrics.  ``progress(done, total, record)`` is invoked for
+    every executed trial as soon as its record is available (after the
+    incremental store write); ``done`` counts cache replays as already
+    complete.
     """
     policy = policy or ExecutionPolicy()
     plans = spec.trials_for(scale)
@@ -314,21 +325,37 @@ def execute_campaign(
             pending.append(plan)
 
     transient: set = set()
+    done = cached
+    total = len(plans)
 
     def pool_failure(task: Any, exc: BaseException) -> TrialRecord:
-        plan, _builder = task
+        plan = task[0]
         transient.add(plan.case_key)
         return _timeout_record(plan, exc)
 
     def persist(record: TrialRecord) -> None:
+        nonlocal done
         records[record.index] = record
         if store is not None and record.case_key not in transient:
             store.append(key, record)
+        done += 1
+        if progress is not None:
+            progress(done, total, record)
 
     # Resolve builders up front: unknown names are tabulated in-place
     # by run_trial, and resolved functions travel to pool workers by
     # pickle reference (spawn-safe for module-level builders).
     from repro.campaigns.builders import resolve_builder
+
+    instrumented = instrumentation is not None and instrumentation.active
+    if instrumented:
+        # Imported lazily: the telemetry campaign layer imports this
+        # module, and bare runs must not pay for it.
+        from repro.telemetry.campaign import run_instrumented
+
+        function: Callable[[Any], TrialRecord] = run_instrumented
+    else:
+        function = _run_prepared
 
     prepared = []
     for plan in pending:
@@ -336,10 +363,13 @@ def execute_campaign(
             builder = resolve_builder(plan.builder)
         except Exception:  # noqa: BLE001 - run_trial tabulates it
             builder = None
-        prepared.append((plan, builder))
+        if instrumented:
+            prepared.append((plan, builder, instrumentation))
+        else:
+            prepared.append((plan, builder))
 
     executed = map_trials(
-        _run_prepared,
+        function,
         prepared,
         policy,
         on_error=pool_failure,

@@ -42,6 +42,7 @@ from repro.checks.conformance import (
     churn_check_set,
     conformance_matrix,
     cps_check_set,
+    matrix_payload_bytes,
     render_matrix,
     render_report,
     run_apa_conformance,
@@ -97,6 +98,7 @@ __all__ = [
     "churn_check_set",
     "conformance_matrix",
     "cps_check_set",
+    "matrix_payload_bytes",
     "render_campaign_conformance",
     "render_matrix",
     "render_report",

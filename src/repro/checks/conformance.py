@@ -381,6 +381,21 @@ def conformance_matrix(
     }
 
 
+def matrix_payload_bytes(payload: Dict[str, Any]) -> bytes:
+    """The canonical on-disk serialization of a verdict payload.
+
+    Byte-for-byte what :func:`~repro.campaigns.store.dump_json_summary`
+    writes (indent 2, sorted keys, trailing LF) — the byte-identity
+    regression test compares a freshly computed matrix against the
+    committed ``results/conformance.json`` through this function, so it
+    must stay in lockstep with the store's serializer.
+    """
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    return text.encode("utf-8")
+
+
 def render_matrix(payload: Dict[str, Any]) -> str:
     """The scenario x monitor pass/fail table for ``stdout``."""
     monitors = payload["monitors"]

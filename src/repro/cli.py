@@ -57,6 +57,23 @@ Subcommands
 ``campaign run --check`` additionally conformance-runs every scenario
 the campaign references and, with ``--store``, persists the verdicts
 as ``<spec_key>.check.json`` (mirroring ``--perf``).
+
+``campaign run --telemetry`` instruments every executed trial with the
+metrics registry, prints the aggregated counters, and, with
+``--store``, persists the byte-stable ``<spec_key>.telemetry.json``
+sidecar; ``--profile`` attaches cProfile per trial and tabulates the
+top hotspots; ``--progress`` prints live heartbeats (trials done,
+rolling events/sec, ETA) to stderr.
+
+``telemetry list``
+    Show the fixed metric catalog with one-line meanings.
+``telemetry show E4 [--scale quick] [--store DIR] [--metric NAME]``
+    Render a campaign's persisted telemetry sidecar (or pass a
+    ``.telemetry.json`` path directly).
+``telemetry aggregate [--store DIR] [--out FILE]``
+    Merge every sidecar in a store into one fleet-level aggregate.
+``telemetry diff A B [--scale] [--store DIR] [--changed-only]``
+    Counter/gauge deltas between two campaigns' sidecars.
 """
 
 from __future__ import annotations
@@ -220,13 +237,33 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         timeout=args.timeout,
     )
+    instrumentation = None
+    if args.telemetry or args.profile:
+        from repro.telemetry.campaign import InstrumentationPlan
+
+        instrumentation = InstrumentationPlan(
+            telemetry=args.telemetry,
+            profile=args.profile,
+            profile_top=args.profile_top,
+        )
+    reporter = None
+    if args.progress:
+        from repro.telemetry.progress import ProgressReporter
+
+        reporter = ProgressReporter(
+            label=f"{definition.spec().name}/{args.scale}"
+        )
     run = execute_campaign(
         definition.spec(),
         scale=args.scale,
         policy=policy,
         store=store,
         reuse=not args.fresh,
+        instrumentation=instrumentation,
+        progress=reporter.update if reporter is not None else None,
     )
+    if reporter is not None:
+        reporter.finish()
     table = definition.tabulate(run)
     print(table.render())
     print()
@@ -249,6 +286,32 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
             )
             print(f"wrote {path}")
     exit_code = 0 if run.failed == 0 else 1
+    if args.telemetry:
+        from repro.telemetry.campaign import (
+            campaign_telemetry,
+            render_campaign_telemetry,
+        )
+
+        payload = campaign_telemetry(run)
+        print(render_campaign_telemetry(payload))
+        if store is not None:
+            path = store.write_summary(
+                definition.spec().spec_key(args.scale),
+                payload,
+                kind="telemetry",
+            )
+            print(f"wrote {path}")
+    if args.profile:
+        from repro.telemetry.profiler import (
+            aggregate_hotspots,
+            render_hotspots,
+        )
+
+        print(
+            render_hotspots(
+                aggregate_hotspots(run.records, top=args.profile_top)
+            )
+        )
     if args.check:
         from repro.checks import (
             campaign_conformance,
@@ -346,11 +409,17 @@ def _command_perf_run(args: argparse.Namespace) -> int:
         result = run_case(name, scale=scale, repeats=args.repeats)
         path = result.write(args.out)
         normalized = result.normalized_throughput
+        cache = result.meta.get("verify_cache") or {}
+        rate = cache.get("hit_rate")
+        cache_note = (
+            f"verify-cache {rate:.1%}" if rate is not None
+            else "verify-cache n/a"
+        )
         print(
-            f"{name:<16} {result.events:>9} events  "
+            f"{name:<18} {result.events:>9} events  "
             f"{result.wall_seconds:8.3f}s  "
             f"{result.events_per_sec:>12,.0f} ev/s  "
-            f"norm {normalized:.4f}  -> {path}"
+            f"norm {normalized:.4f}  {cache_note}  -> {path}"
         )
     return 0
 
@@ -532,6 +601,123 @@ def _command_check_fixture(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _load_telemetry_sidecar(name: str, scale: str, store_dir):
+    """Resolve a campaign name (or a direct path) to its sidecar payload."""
+    import json
+
+    if name.endswith(".json"):
+        if not os.path.exists(name):
+            raise SystemExit(f"telemetry sidecar not found: {name}")
+        with open(name, encoding="utf-8") as handle:
+            return json.load(handle)
+    definition = _campaign_or_exit(name)
+    if not store_dir:
+        raise SystemExit(
+            "--store is required to look up a campaign's sidecar "
+            "(or pass a .telemetry.json path directly)"
+        )
+    store = ResultStore(store_dir)
+    key = definition.spec().spec_key(scale)
+    payload = store.load_summary(key, kind="telemetry")
+    if payload is None:
+        raise SystemExit(
+            f"no telemetry sidecar for campaign {name!r} "
+            f"[{scale}] in {store_dir} — run "
+            f"'repro campaign run {name} --scale {scale} "
+            f"--telemetry --store {store_dir}' first"
+        )
+    return payload
+
+
+def _check_metric_names(
+    requested: Optional[List[str]], payload=None
+) -> Optional[List[str]]:
+    from repro.telemetry import available_metrics
+
+    if not requested:
+        return None
+    available = available_metrics(payload)
+    for name in requested:
+        if name not in available:
+            raise _unknown_name_exit(name, "metric", available)
+    return list(requested)
+
+
+def _command_telemetry_list(_args: argparse.Namespace) -> int:
+    from repro.telemetry import METRIC_CATALOG
+
+    width = max(len(name) for name in METRIC_CATALOG)
+    for name, meaning in sorted(METRIC_CATALOG.items()):
+        print(f"{name:<{width}}  {meaning}")
+    return 0
+
+
+def _command_telemetry_show(args: argparse.Namespace) -> int:
+    from repro.telemetry.campaign import render_campaign_telemetry
+
+    payload = _load_telemetry_sidecar(
+        args.campaign, args.scale, args.store
+    )
+    metrics = _check_metric_names(args.metric, payload)
+    print(render_campaign_telemetry(payload, metrics))
+    return 0
+
+
+def _command_telemetry_aggregate(args: argparse.Namespace) -> int:
+    import glob
+    import json
+
+    from repro.campaigns.store import dump_json_summary
+    from repro.telemetry.campaign import (
+        aggregate_payloads,
+        render_aggregate,
+    )
+
+    paths = sorted(
+        glob.glob(os.path.join(args.store, "*.telemetry.json"))
+    )
+    if not paths:
+        raise SystemExit(
+            f"no *.telemetry.json sidecars under {args.store!r} "
+            f"(run 'repro campaign run NAME --telemetry --store "
+            f"{args.store}' first)"
+        )
+    payloads = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            payloads.append(json.load(handle))
+    merged = aggregate_payloads(payloads)
+    print(
+        f"telemetry aggregate: {merged['sidecars']} sidecar(s), "
+        f"{merged['instrumented']} instrumented trial(s) — "
+        f"{', '.join(merged['campaigns'])}"
+    )
+    print(render_aggregate(merged["aggregate"]))
+    if args.out:
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        dump_json_summary(args.out, merged)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _command_telemetry_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry.campaign import diff_rows, render_diff
+
+    left = _load_telemetry_sidecar(args.a, args.scale, args.store)
+    right = _load_telemetry_sidecar(args.b, args.scale, args.store)
+    rows = diff_rows(left, right)
+    metrics = _check_metric_names(args.metric, left)
+    print(
+        f"telemetry diff: a={left.get('campaign', '?')}"
+        f"[{left.get('scale', '?')}] "
+        f"b={right.get('campaign', '?')}[{right.get('scale', '?')}]"
+    )
+    print(render_diff(rows, metrics, changed_only=args.changed_only))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -633,6 +819,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="conformance-run every scenario the campaign references "
         "and, with --store, persist verdicts as <spec_key>.check.json",
+    )
+    campaign_run_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="instrument executed trials with the metrics registry and, "
+        "with --store, persist <spec_key>.telemetry.json",
+    )
+    campaign_run_parser.add_argument(
+        "--profile", action="store_true",
+        help="attach cProfile to every executed trial and tabulate the "
+        "top hotspots across the run",
+    )
+    campaign_run_parser.add_argument(
+        "--profile-top", type=int, default=15,
+        help="hotspot rows kept per trial and printed (default 15)",
+    )
+    campaign_run_parser.add_argument(
+        "--progress", action="store_true",
+        help="print live heartbeats (trials done, rolling events/sec, "
+        "ETA) to stderr",
     )
     campaign_run_parser.set_defaults(handler=_command_campaign_run)
 
@@ -806,6 +1011,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="free-form provenance note stored in the baseline",
     )
     perf_baseline_parser.set_defaults(handler=_command_perf_baseline)
+
+    telemetry_parser = sub.add_parser(
+        "telemetry",
+        help="inspect campaign telemetry sidecars (counters, spans, "
+        "histograms)",
+    )
+    telemetry_sub = telemetry_parser.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+
+    telemetry_sub.add_parser(
+        "list", help="list the metric catalog"
+    ).set_defaults(handler=_command_telemetry_list)
+
+    telemetry_show_parser = telemetry_sub.add_parser(
+        "show", help="render one campaign's telemetry sidecar"
+    )
+    telemetry_show_parser.add_argument(
+        "campaign",
+        help="campaign id (e.g. E4) or a .telemetry.json path",
+    )
+    telemetry_show_parser.add_argument("--scale", default="quick")
+    telemetry_show_parser.add_argument(
+        "--store", help="result-store directory holding the sidecar"
+    )
+    telemetry_show_parser.add_argument(
+        "--metric", action="append",
+        help="restrict output to this metric (repeatable)",
+    )
+    telemetry_show_parser.set_defaults(handler=_command_telemetry_show)
+
+    telemetry_aggregate_parser = telemetry_sub.add_parser(
+        "aggregate",
+        help="merge every sidecar in a store into one aggregate",
+    )
+    telemetry_aggregate_parser.add_argument(
+        "--store", required=True,
+        help="result-store directory to scan for *.telemetry.json",
+    )
+    telemetry_aggregate_parser.add_argument(
+        "--out", help="also write the merged aggregate as JSON"
+    )
+    telemetry_aggregate_parser.set_defaults(
+        handler=_command_telemetry_aggregate
+    )
+
+    telemetry_diff_parser = telemetry_sub.add_parser(
+        "diff", help="counter/gauge deltas between two sidecars"
+    )
+    telemetry_diff_parser.add_argument(
+        "a", help="campaign id or .telemetry.json path (left side)"
+    )
+    telemetry_diff_parser.add_argument(
+        "b", help="campaign id or .telemetry.json path (right side)"
+    )
+    telemetry_diff_parser.add_argument("--scale", default="quick")
+    telemetry_diff_parser.add_argument(
+        "--store", help="result-store directory holding the sidecars"
+    )
+    telemetry_diff_parser.add_argument(
+        "--metric", action="append",
+        help="restrict output to this metric (repeatable)",
+    )
+    telemetry_diff_parser.add_argument(
+        "--changed-only", action="store_true",
+        help="hide metrics whose delta is zero",
+    )
+    telemetry_diff_parser.set_defaults(handler=_command_telemetry_diff)
 
     return parser
 

@@ -37,7 +37,7 @@ from repro.sim.errors import ConfigurationError
 from repro.sim.network import DelayPolicy, NetworkConfig
 from repro.sim.runtime import NodeAPI, TimedProtocol
 from repro.sim.scheduler import Simulation
-from repro.sim.trace import Trace, TraceLevel, TraceSpec
+from repro.sim.trace import Trace, TraceSpec
 from repro.sync.approx_agreement import midpoint_rule
 from repro.sync.crusader import BOT
 
@@ -320,7 +320,7 @@ def build_cps_simulation(
         behavior=behavior,
         delay_policy=delay_policy,
         f=params.f,
-        trace=Trace(level=TraceLevel.coerce(trace)),
+        trace=Trace.from_spec(trace),
         checks=checks,
         dynamics=dynamics,
     )

@@ -117,6 +117,11 @@ class ChurnController(DynamicsHook):
         else:  # pragma: no cover - schedule validation rejects these
             raise ValueError(f"unknown churn action {kind!r}")
         self.applied.append((sim.now, kind, node))
+        if sim.telemetry is not None:
+            # Schedule-level granularity: distinguishes a "recover" from
+            # a "join" where the scheduler's dynamics.activate counter
+            # cannot.
+            sim.telemetry.incr(f"dynamics.applied.{kind}")
         details = {"action": kind, "node": node}
         if sim.checks is not None:
             sim.checks.on_annotate(sim.now, node, "churn", details)

@@ -57,9 +57,15 @@ def run_case(
 
     The first (warmup) run is excluded — it pays import, allocation, and
     cache-priming costs that steady-state throughput should not include.
+    The signature-verification memo's hit/miss delta across the measured
+    repeats is reported as ``meta["verify_cache"]`` (warm-cache steady
+    state, since the warmup run primes the memo).
     """
+    from repro.crypto.signatures import verify_cache_stats
+
     case = PERF_CASES[name]
     case.body(scale)  # warmup, unmeasured
+    cache_before = verify_cache_stats()
     best: Tuple[float, int, Dict[str, object]] = (float("inf"), 0, {})
     for _ in range(max(repeats, 1)):
         probe = PerfProbe(calibrate=False)
@@ -68,11 +74,25 @@ def run_case(
             probe.add_events(events)
         if probe.wall_seconds < best[0]:
             best = (probe.wall_seconds, probe.events, meta)
+    cache_after = verify_cache_stats()
+    hits = cache_after.hits - cache_before.hits
+    misses = cache_after.misses - cache_before.misses
+    lookups = hits + misses
+    verify_cache = {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / lookups if lookups else None,
+    }
     final = PerfProbe()
     final.wall_seconds, final.events = best[0], best[1]
     return BenchResult.from_reading(
         name,
-        final.reading(scale=scale, description=case.description, **best[2]),
+        final.reading(
+            scale=scale,
+            description=case.description,
+            verify_cache=verify_cache,
+            **best[2],
+        ),
     )
 
 
@@ -194,6 +214,75 @@ def _stress_campaign(scale: str) -> Tuple[int, Dict[str, object]]:
     run = execute_campaign(definition.spec(), scale=campaign_scale)
     events = sum(r.metrics.get("events", 0) for r in run.records)
     return events, {"trials": len(run.records), "failed": run.failed}
+
+
+@register_case(
+    "telemetry-overhead",
+    "CPS stress workload run bare and under an active telemetry "
+    "handle — guards the zero-cost-when-unused instrumentation hooks",
+)
+def _telemetry_overhead(scale: str) -> Tuple[int, Dict[str, object]]:
+    import time as time_module
+
+    from repro import scenarios
+    from repro.analysis.runner import run_pulse_trial
+    from repro.campaigns.builders import _extreme_clocks
+    from repro.core.cps import build_cps_simulation
+    from repro.core.params import derive_parameters, max_faults
+    from repro.telemetry import Telemetry, telemetry_session
+
+    n, theta, d, u, seed = 9, 1.001, 1.0, 0.02, 5
+    pulses = 15 if scale == "quick" else 45
+    params = derive_parameters(theta, d, u, n, f=max_faults(n))
+
+    def build():  # one fresh instrumentable system per measurement
+        return build_cps_simulation(
+            params,
+            clocks=_extreme_clocks(params, n, theta),
+            faulty=list(range(n - params.f, n)),
+            behavior=scenarios.create("adversary", "mimic-split", params),
+            delay_policy=scenarios.create("delay", "skewing", n),
+            seed=seed,
+            trace="pulses",
+        )
+
+    started = time_module.perf_counter()
+    bare = run_pulse_trial(build(), pulses, warmup=8)
+    bare_seconds = time_module.perf_counter() - started
+    assert bare.result is not None, bare.error
+
+    telemetry = Telemetry(label="telemetry-overhead")
+    started = time_module.perf_counter()
+    with telemetry_session(telemetry):
+        instrumented = run_pulse_trial(build(), pulses, warmup=8)
+    instrumented_seconds = time_module.perf_counter() - started
+    assert instrumented.result is not None, instrumented.error
+
+    # The hooks must never change simulated behaviour, only observe it.
+    assert bare.result.pulses == instrumented.result.pulses, (
+        "telemetry instrumentation perturbed the simulation"
+    )
+    events = bare.result.events_processed
+    assert instrumented.result.events_processed == events, (
+        "telemetry instrumentation changed the event count"
+    )
+    overhead = (
+        (instrumented_seconds - bare_seconds) / bare_seconds
+        if bare_seconds > 0
+        else 0.0
+    )
+    snapshot = telemetry.as_dict()
+    return events * 2, {
+        "pulses": pulses,
+        "bare_seconds": round(bare_seconds, 6),
+        "instrumented_seconds": round(instrumented_seconds, 6),
+        "overhead_fraction": round(overhead, 4),
+        "dispatched": sum(
+            value
+            for name, value in snapshot["counters"].items()
+            if name.startswith("events.dispatched.")
+        ),
+    }
 
 
 @register_case(

@@ -98,12 +98,15 @@ class EventQueue:
     reaches the front.
     """
 
-    __slots__ = ("_heap", "_slab", "_next_seq")
+    __slots__ = ("_heap", "_slab", "_next_seq", "cancelled")
 
     def __init__(self) -> None:
         self._heap: List[HeapKey] = []
         self._slab: Dict[int, Any] = {}
         self._next_seq = 0
+        #: Successful :meth:`cancel` calls — a deterministic tally the
+        #: telemetry layer reads as ``events.cancelled.requested``.
+        self.cancelled = 0
 
     def push(self, time: float, priority: int, event: Any) -> CancelHandle:
         """Schedule ``event`` at ``time`` with the given kind priority."""
@@ -146,7 +149,10 @@ class EventQueue:
 
     def cancel(self, handle: CancelHandle) -> bool:
         """Cancel a scheduled event; returns whether it was still live."""
-        return self._slab.pop(handle, None) is not None
+        if self._slab.pop(handle, None) is None:
+            return False
+        self.cancelled += 1
+        return True
 
     def __len__(self) -> int:
         return len(self._slab)

@@ -36,6 +36,13 @@ class SignatureKnowledge:
         # signature sets by construction.
         self._collected: Dict[Any, Tuple[Signature, ...]] = {}
 
+    def stats(self) -> Dict[str, int]:
+        """Deterministic table sizes for the telemetry layer."""
+        return {
+            "signatures_known": len(self._earliest),
+            "payloads_memoized": len(self._collected),
+        }
+
     def signatures_of(self, payload: Any) -> Tuple[Signature, ...]:
         """All signatures inside ``payload`` (memoized per content)."""
         try:

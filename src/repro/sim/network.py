@@ -111,7 +111,14 @@ class DelayPolicy:
         return config.d
 
     def describe(self) -> str:
-        """Short human-readable policy description (for experiment tables)."""
+        """Short human-readable policy description.
+
+        Used by experiment tables and recorded as run-shape metadata by
+        the telemetry layer (the ``delay_policies`` entry of a
+        :class:`~repro.telemetry.metrics.Telemetry` snapshot), so it
+        must stay deterministic — derive it from configuration, never
+        from per-run state.
+        """
         return type(self).__name__
 
 

@@ -10,6 +10,14 @@ experiments, where a faulty node must simulate its own honest behaviour.
 A protocol may only observe time through :meth:`NodeAPI.local_time` and may
 only schedule future work through local-time timers; it has no access to
 real time, matching the model ("nodes have no access to the true time").
+
+Observation hooks stack on this interface without touching protocol
+code: ``checks=`` (streaming conformance monitors), ``dynamics=``
+(membership churn), and the telemetry handle
+(:mod:`repro.telemetry`, adopted from the ambient context or passed as
+``telemetry=``) are all zero-cost when unused — each instrumentation
+site in the scheduler is one ``is None`` test — and none of them may
+perturb event order.
 """
 
 from __future__ import annotations

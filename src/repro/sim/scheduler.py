@@ -27,6 +27,13 @@ that record them (:class:`~repro.sim.trace.TraceLevel`), and the queue's
 heap/slab are accessed through locals hoisted out of the loop.  None of
 this changes semantics: event order is still (time, priority, insertion
 seq), and pulse outputs are byte-identical across trace levels.
+
+Telemetry (:mod:`repro.telemetry`) follows the same
+zero-cost-when-unused contract as ``checks=`` and ``dynamics=``: with no
+handle attached every instrumentation site is a single ``is None`` test
+on a hoisted local, and with one attached the hot loop increments
+pre-hoisted counter slots — never allocating, never perturbing event
+order, so instrumented runs stay byte-identical to bare ones.
 """
 
 from __future__ import annotations
@@ -62,6 +69,7 @@ from repro.sim.trace import (
     Trace,
     TraceLevel,
 )
+from repro.telemetry.context import active_telemetry
 
 
 @dataclass
@@ -110,6 +118,9 @@ class _SimNodeAPI(NodeAPI):
             PRIORITY_TIMER,
             TimerEvent(self.node_id, tag, local_when),
         )
+        telemetry = sim.telemetry
+        if telemetry is not None:
+            telemetry.incr("timers.set")
 
     def send(self, dst: int, payload: Any) -> None:
         self._sim.honest_send(self.node_id, dst, payload)
@@ -129,6 +140,9 @@ class _SimNodeAPI(NodeAPI):
 
     def annotate(self, kind: str, details: Any) -> None:
         sim = self._sim
+        telemetry = sim.telemetry
+        if telemetry is not None:
+            telemetry.on_annotate(kind, details)
         checks = sim.checks
         if checks is not None:
             checks.on_annotate(sim.now, self.node_id, kind, details)
@@ -256,6 +270,7 @@ class Simulation:
         trace: Optional[Trace] = None,
         checks: Optional[SimulationChecks] = None,
         dynamics: Optional[DynamicsHook] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.config = config
         if len(clocks) != config.n:
@@ -280,6 +295,15 @@ class Simulation:
         self.queue = EventQueue()
         self.trace = trace if trace is not None else Trace()
         self.checks = checks
+        # Telemetry: an explicit handle wins; otherwise adopt the ambient
+        # per-process session (how campaign trials instrument simulations
+        # built inside registered builders).  Both default to None, so
+        # uninstrumented runs pay a single `is None` test per site.
+        self.telemetry = (
+            telemetry if telemetry is not None else active_telemetry()
+        )
+        if self.telemetry is not None:
+            self.telemetry.attach(self)
         self.now = 0.0
         self.warnings: List[str] = []
         self.pulses: Dict[int, List[float]] = {
@@ -350,6 +374,8 @@ class Simulation:
             raise SimulationError(f"node {node} is already inactive")
         del self._protocols[node]
         del self._apis[node]
+        if self.telemetry is not None:
+            self.telemetry.incr("dynamics.deactivate")
         quota = self._pulse_quota
         if quota is not None and len(self.pulses[node]) < quota:
             self._quota_open -= 1
@@ -368,6 +394,8 @@ class Simulation:
             raise SimulationError(f"node {node} is already active")
         self._protocols[node] = protocol
         api = self._apis[node] = _SimNodeAPI(self, node)
+        if self.telemetry is not None:
+            self.telemetry.incr("dynamics.activate")
         quota = self._pulse_quota
         if quota is not None and len(self.pulses[node]) < quota:
             self._quota_open += 1
@@ -392,6 +420,8 @@ class Simulation:
         self.faulty.add(node)
         self.knowledge.faulty.add(node)
         self.honest.remove(node)
+        if self.telemetry is not None:
+            self.telemetry.incr("dynamics.corrupt")
 
     def restore_node(self, node: int, protocol: TimedProtocol) -> None:
         """Hand a Byzantine node back to the honest side and restart it.
@@ -407,6 +437,8 @@ class Simulation:
         self.knowledge.faulty.discard(node)
         self.honest.append(node)
         self.honest.sort()
+        if self.telemetry is not None:
+            self.telemetry.incr("dynamics.restore")
         self.activate_node(node, protocol)
 
     # ------------------------------------------------------------------
@@ -441,6 +473,9 @@ class Simulation:
             PRIORITY_DELIVERY,
             DeliveryEvent(src, dst, payload, now),
         )
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_honest_send(src, payload, delay)
         if behavior is not None:
             behavior.on_honest_send(self._adversary_ctx, record)
 
@@ -470,6 +505,9 @@ class Simulation:
             PRIORITY_DELIVERY,
             DeliveryEvent(src, dst, payload, now),
         )
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_faulty_send(delay)
 
     def record_pulse(self, node: int) -> None:
         pulse_list = self.pulses[node]
@@ -478,6 +516,8 @@ class Simulation:
         if quota is not None and len(pulse_list) == quota:
             self._quota_open -= 1
         local = self.clocks[node].local_time(self.now)
+        if self.telemetry is not None:
+            self.telemetry.incr("pulses.recorded")
         if self.checks is not None:
             self.checks.on_pulse(self.now, node, len(pulse_list), local)
         if self.dynamics is not None:
@@ -552,11 +592,21 @@ class Simulation:
         trace = self.trace
         trace_full = trace.level >= TraceLevel.FULL
         trace_records = trace.records
+        # Telemetry hot-path slots: the loop indexes `telem_dispatch`
+        # by event priority and bumps plain dict entries — no method
+        # calls, no allocation.  Both are None when uninstrumented.
+        telemetry = self.telemetry
+        telem_counters = telemetry.counters if telemetry is not None else None
+        telem_dispatch = telemetry.dispatch if telemetry is not None else None
         # Quota only gates when honest nodes exist (matches the historical
         # `self.honest and all(...)` check: an all-faulty run ignores it).
         quota_gated = max_pulses is not None and bool(self.honest)
         events_processed = self.events_processed
         until_cutoff = None if until is None else until + EPS
+        if telemetry is not None:
+            import time as _time
+
+            run_started = _time.perf_counter()
 
         try:
             while True:
@@ -568,6 +618,8 @@ class Simulation:
                     if key[2] in slab:
                         break
                     heappop(heap)
+                    if telem_counters is not None:
+                        telem_counters["events.cancelled.lazy"] += 1
                 else:
                     break
                 time = key[0]
@@ -578,6 +630,8 @@ class Simulation:
                 event = slab.pop(key[2])
                 self.now = time
                 events_processed += 1
+                if telem_dispatch is not None:
+                    telem_dispatch[priority] += 1
                 if events_processed > max_events:
                     raise SimulationError(
                         f"event cap of {max_events} exceeded — "
@@ -594,6 +648,8 @@ class Simulation:
                     protocol = protocols.get(event.node)
                     if protocol is not None:
                         protocol.on_timer(apis[event.node], event.tag)
+                    elif telem_counters is not None:
+                        telem_counters["timers.dropped.inactive"] += 1
                 elif priority == PRIORITY_DELIVERY:
                     dst = event.dst
                     if trace_full:
@@ -609,6 +665,10 @@ class Simulation:
                         # Knowledge pools across faulty nodes at
                         # reception time.
                         knowledge.learn_payload(event.payload, time)
+                        if telem_counters is not None:
+                            telem_counters[
+                                "messages.delivered.adversary"
+                            ] += 1
                         if behavior is not None:
                             behavior.on_deliver(
                                 ctx,
@@ -622,9 +682,15 @@ class Simulation:
                     else:
                         protocol = protocols.get(dst)
                         if protocol is not None:
+                            if telem_counters is not None:
+                                telem_counters[
+                                    "messages.delivered.honest"
+                                ] += 1
                             protocol.on_message(
                                 apis[dst], event.src, event.payload
                             )
+                        elif telem_counters is not None:
+                            telem_counters["messages.dropped.inactive"] += 1
                 elif priority == PRIORITY_ADVERSARY:
                     if behavior is not None:
                         behavior.on_wakeup(ctx, event.tag)
@@ -640,6 +706,11 @@ class Simulation:
             self.events_processed = events_processed
             self._pulse_quota = None
             self._quota_open = 0
+            if telemetry is not None:
+                telemetry.observe_span(
+                    "sim.run", _time.perf_counter() - run_started
+                )
+                telemetry.finalize(self)
 
         return SimulationResult(
             pulses={v: list(times) for v, times in self.pulses.items()},

@@ -1,0 +1,61 @@
+"""Observability: metrics registry, campaign sidecars, progress, profiling.
+
+The subsystem splits into five small layers:
+
+``metrics``
+    :class:`Telemetry` — counters/gauges/histograms/spans with a
+    deterministic :meth:`~Telemetry.as_dict` snapshot, plus the
+    :data:`METRIC_CATALOG` of fixed metric names.
+``context``
+    The ambient per-process session (:func:`telemetry_session`) through
+    which campaign trials reach simulations built deep inside registered
+    builders without changing any builder signature.
+``campaign``
+    The instrumented trial wrapper and the byte-stable
+    ``<spec_key>.telemetry.json`` sidecar behind
+    ``repro campaign run --telemetry``, plus aggregate/diff helpers for
+    the ``repro telemetry`` subcommands.
+``progress``
+    Live heartbeats (trials done/total, rolling events/sec, ETA) on
+    stderr so long full-tier runs are no longer silent.
+``profiler``
+    Per-trial cProfile capture and cross-trial hotspot tabulation
+    behind ``repro campaign run --profile``.
+
+Only the light layers (metrics, context) are imported here; the
+simulator imports :mod:`repro.telemetry.context` at module load, so
+this package must not pull in the campaign stack.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog, sidecar format,
+and profiling workflow.
+"""
+
+from repro.telemetry.context import (
+    activate,
+    active_telemetry,
+    deactivate,
+    telemetry_session,
+)
+from repro.telemetry.metrics import (
+    DELAY_BUCKETS,
+    DISPATCH_NAMES,
+    METRIC_CATALOG,
+    Histogram,
+    Telemetry,
+    available_metrics,
+    merge_snapshots,
+)
+
+__all__ = [
+    "DELAY_BUCKETS",
+    "DISPATCH_NAMES",
+    "METRIC_CATALOG",
+    "Histogram",
+    "Telemetry",
+    "activate",
+    "active_telemetry",
+    "available_metrics",
+    "deactivate",
+    "merge_snapshots",
+    "telemetry_session",
+]

@@ -1,0 +1,93 @@
+"""Per-trial cProfile capture and cross-trial hotspot tabulation.
+
+``repro campaign run --profile`` wraps every executed trial in a
+:class:`cProfile.Profile` (inside the worker process, so pool mode works
+unchanged), reduces the raw stats to a small list of row dicts *before*
+they travel back over the pool pipe, and attaches them to the trial
+record as ``metrics["profile"]``.  The CLI then merges rows across
+trials and prints the top-N hotspots by own-time.
+
+Profiling rows carry wall-clock timings and are therefore excluded from
+the deterministic ``.telemetry.json`` sidecars; they live only in the
+trial records and the live CLI output.
+"""
+
+from __future__ import annotations
+
+import os
+import pstats
+from typing import Any, Dict, Iterable, List
+
+#: Keep this many path components when labelling a function.
+_PATH_PARTS = 2
+
+
+def _function_label(func: Any) -> str:
+    filename, line, name = func
+    if filename.startswith("<"):  # builtins, compiled stubs
+        return f"{filename}:{name}"
+    parts = filename.replace(os.sep, "/").split("/")
+    short = "/".join(parts[-_PATH_PARTS:])
+    return f"{short}:{line}:{name}"
+
+
+def profile_rows(profiler: Any, top: int = 15) -> List[Dict[str, Any]]:
+    """Reduce a finished ``cProfile.Profile`` to its top-N own-time rows."""
+    stats = pstats.Stats(profiler)
+    rows = []
+    for func, (_cc, ncalls, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        rows.append(
+            {
+                "function": _function_label(func),
+                "calls": ncalls,
+                "tottime": tottime,
+                "cumtime": cumtime,
+            }
+        )
+    rows.sort(key=lambda row: (-row["tottime"], row["function"]))
+    return rows[:top]
+
+
+def aggregate_hotspots(
+    records: Iterable[Any], top: int = 15
+) -> List[Dict[str, Any]]:
+    """Merge per-trial profile rows (summing by function) across a run."""
+    merged: Dict[str, Dict[str, Any]] = {}
+    profiled = 0
+    for record in records:
+        rows = record.metrics.get("profile")
+        if not rows:
+            continue
+        profiled += 1
+        for row in rows:
+            entry = merged.get(row["function"])
+            if entry is None:
+                merged[row["function"]] = dict(row)
+            else:
+                entry["calls"] += row["calls"]
+                entry["tottime"] += row["tottime"]
+                entry["cumtime"] += row["cumtime"]
+    ranked = sorted(
+        merged.values(),
+        key=lambda row: (-row["tottime"], row["function"]),
+    )
+    return ranked[:top]
+
+
+def render_hotspots(rows: List[Dict[str, Any]]) -> str:
+    """A fixed-width hotspot table for terminal output."""
+    if not rows:
+        return "no profile data captured (no executed trials?)"
+    width = max(len(row["function"]) for row in rows)
+    lines = [
+        f"{'function':<{width}}  {'calls':>9}  {'tottime':>9}  "
+        f"{'cumtime':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['function']:<{width}}  {row['calls']:>9}  "
+            f"{row['tottime']:>9.4f}  {row['cumtime']:>9.4f}"
+        )
+    return "\n".join(lines)

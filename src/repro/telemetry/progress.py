@@ -1,0 +1,105 @@
+"""Live campaign progress heartbeats: done/total, events/sec, ETA.
+
+Long full-tier campaign runs used to be silent until the final table.
+:class:`ProgressReporter` plugs into the executor's per-result hook
+(``execute_campaign(..., progress=...)``) and prints throttled one-line
+heartbeats to **stderr** — stdout stays reserved for the byte-stable
+tables, so piping ``repro campaign run`` output remains safe.
+
+The rolling events/sec figure comes from the last few executed trials'
+``events`` metric and wall duration; the ETA extrapolates the observed
+trial rate over the remaining count.  Both are advisory (wall-clock
+derived) and never persisted.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Any, Callable, Optional, TextIO
+
+#: How many recent trials feed the rolling events/sec estimate.
+_ROLLING_WINDOW = 16
+
+
+class ProgressReporter:
+    """Throttled progress lines for one campaign execution."""
+
+    def __init__(
+        self,
+        label: str,
+        stream: Optional[TextIO] = None,
+        interval: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.clock = clock
+        self.started = clock()
+        self.done = 0
+        self.total = 0
+        self.lines_emitted = 0
+        self._last_emit: Optional[float] = None
+        self._recent: deque = deque(maxlen=_ROLLING_WINDOW)
+
+    # -- executor hook --------------------------------------------------
+
+    def update(self, done: int, total: int, record: Any) -> None:
+        """The ``progress`` callback: one executed trial completed."""
+        self.done, self.total = done, total
+        if record is not None and record.ok and not record.cached:
+            events = record.metrics.get("events")
+            if events and record.duration > 0:
+                self._recent.append((events, record.duration))
+        now = self.clock()
+        if (
+            self._last_emit is not None
+            and done < total
+            and now - self._last_emit < self.interval
+        ):
+            return
+        self._last_emit = now
+        self._emit(now)
+
+    def finish(self) -> None:
+        """Print the closing summary line."""
+        elapsed = self.clock() - self.started
+        self._print(
+            f"[{self.label}] done: {self.done}/{self.total} trials "
+            f"in {elapsed:.1f}s"
+        )
+
+    # -- rendering ------------------------------------------------------
+
+    def rolling_events_per_sec(self) -> Optional[float]:
+        events = sum(entry[0] for entry in self._recent)
+        duration = sum(entry[1] for entry in self._recent)
+        if not events or duration <= 0:
+            return None
+        return events / duration
+
+    def eta_seconds(self, now: float) -> Optional[float]:
+        if not self.done or self.done >= self.total:
+            return None
+        elapsed = now - self.started
+        if elapsed <= 0:
+            return None
+        return elapsed / self.done * (self.total - self.done)
+
+    def _emit(self, now: float) -> None:
+        percent = 100.0 * self.done / self.total if self.total else 100.0
+        line = f"[{self.label}] {self.done}/{self.total} trials "
+        line += f"({percent:.0f}%)"
+        rate = self.rolling_events_per_sec()
+        if rate is not None:
+            line += f" — {rate:,.0f} ev/s"
+        eta = self.eta_seconds(now)
+        if eta is not None:
+            line += f" — ETA {eta:.0f}s"
+        self._print(line)
+
+    def _print(self, line: str) -> None:
+        print(line, file=self.stream, flush=True)
+        self.lines_emitted += 1

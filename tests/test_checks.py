@@ -25,6 +25,7 @@ from repro.checks import (
     check_scenario,
     conformance_matrix,
     cps_check_set,
+    matrix_payload_bytes,
     render_matrix,
     render_report,
     run_broken_fixture,
@@ -393,6 +394,34 @@ class TestConformanceMatrix:
     def test_monitor_catalog_matches_columns(self):
         payload = conformance_matrix("quick", kinds=("topology",))
         assert payload["monitors"] == list(MONITOR_CATALOG)
+
+    def test_matrix_bytes_match_committed_baseline(self):
+        """The telemetry-overhead acceptance gate: with instrumentation
+        disabled (the default), the full 32-scenario matrix reproduces
+        the committed ``results/conformance.json`` byte for byte."""
+        baseline = os.path.join(
+            os.path.dirname(__file__), "..", "results", "conformance.json"
+        )
+        with open(baseline, "rb") as handle:
+            expected = handle.read()
+        payload = conformance_matrix("quick", seed=0)
+        assert matrix_payload_bytes(payload) == expected
+
+    def test_matrix_bytes_unchanged_under_telemetry(self):
+        """An active telemetry handle observes but never perturbs:
+        verdict payloads stay byte-identical."""
+        from repro.telemetry import Telemetry, telemetry_session
+
+        bare = matrix_payload_bytes(
+            conformance_matrix("quick", kinds=("drift",))
+        )
+        telemetry = Telemetry()
+        with telemetry_session(telemetry):
+            instrumented = matrix_payload_bytes(
+                conformance_matrix("quick", kinds=("drift",))
+            )
+        assert instrumented == bare
+        assert telemetry.counters["pulses.recorded"] > 0
 
 
 class TestBrokenFixture:

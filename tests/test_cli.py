@@ -253,3 +253,143 @@ class TestChurnCli:
         out = capsys.readouterr().out
         assert "fault schedules" in out
         assert "0 failed" in out
+
+
+class TestTelemetryCli:
+    def _sidecar(self, tmp_path, capsys):
+        store = os.path.join(tmp_path, "store")
+        assert (
+            main(
+                [
+                    "campaign", "run", "E4", "--telemetry",
+                    "--store", store,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return store
+
+    def test_list_prints_catalog(self, capsys):
+        assert main(["telemetry", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "events.dispatched.delivery" in out
+        assert "tcb.echoes" in out
+
+    def test_campaign_run_writes_sidecar_and_shows_it(
+        self, tmp_path, capsys
+    ):
+        store = self._sidecar(tmp_path, capsys)
+        sidecars = [
+            name
+            for name in os.listdir(store)
+            if name.endswith(".telemetry.json")
+        ]
+        assert len(sidecars) == 1
+        assert (
+            main(["telemetry", "show", "E4", "--store", store]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "6/6 trials instrumented" in out
+        assert "pulses.recorded" in out
+        # A direct path works without --store.
+        path = os.path.join(store, sidecars[0])
+        assert main(["telemetry", "show", path]) == 0
+
+    def test_aggregate_and_diff(self, tmp_path, capsys):
+        store = self._sidecar(tmp_path, capsys)
+        out_path = os.path.join(tmp_path, "aggregate.json")
+        assert (
+            main(
+                [
+                    "telemetry", "aggregate", "--store", store,
+                    "--out", out_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 sidecar(s)" in out
+        assert os.path.exists(out_path)
+        assert (
+            main(
+                [
+                    "telemetry", "diff", "E4", "E4", "--store", store,
+                    "--changed-only",
+                ]
+            )
+            == 0
+        )
+        assert "no matching metrics" in capsys.readouterr().out
+
+    def test_progress_heartbeats_go_to_stderr(self, capsys):
+        assert main(["campaign", "run", "E4", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[E4/quick]" in captured.err
+        assert "done:" in captured.err
+        assert "[E4/quick]" not in captured.out
+
+    def test_profile_prints_hotspots(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign", "run", "E4", "--profile",
+                    "--profile-top", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tottime" in out
+        assert "scheduler" in out
+
+    def test_perf_run_prints_verify_cache_rate(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "perf", "run", "--quick", "--case", "queue-churn",
+                    "--repeats", "1", "--out", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "verify-cache" in capsys.readouterr().out
+
+    def test_unknown_campaign_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown campaign") as info:
+            main(
+                [
+                    "telemetry", "show", "E44",
+                    "--store", str(tmp_path),
+                ]
+            )
+        assert info.value.code != 0
+
+    def test_unknown_metric_did_you_mean(self, tmp_path, capsys):
+        store = self._sidecar(tmp_path, capsys)
+        with pytest.raises(
+            SystemExit, match="did you mean 'tcb.echoes'"
+        ) as info:
+            main(
+                [
+                    "telemetry", "show", "E4", "--store", store,
+                    "--metric", "tcb.echos",
+                ]
+            )
+        assert info.value.code != 0
+
+    def test_missing_sidecar_suggests_the_run_command(self, tmp_path):
+        with pytest.raises(
+            SystemExit, match="no telemetry sidecar"
+        ) as info:
+            main(
+                [
+                    "telemetry", "show", "E4",
+                    "--store", str(tmp_path),
+                ]
+            )
+        assert info.value.code != 0
+
+    def test_show_requires_store_or_path(self):
+        with pytest.raises(SystemExit, match="--store is required"):
+            main(["telemetry", "show", "E4"])

@@ -259,6 +259,7 @@ class TestVerifyCache:
 class TestPerfCases:
     def test_registry_names(self):
         assert "e5-stress" in available_cases()
+        assert "telemetry-overhead" in available_cases()
 
     def test_queue_churn_runs(self):
         from repro.perf import run_case
@@ -267,6 +268,31 @@ class TestPerfCases:
         assert result.events == 100_000
         assert result.events_per_sec > 0
         assert result.normalized_throughput is not None
+
+    def test_meta_reports_verify_cache_stats(self):
+        from repro.perf import run_case
+
+        result = run_case("queue-churn", scale="quick", repeats=1)
+        cache = result.meta["verify_cache"]
+        assert set(cache) == {"hits", "misses", "hit_rate"}
+        assert cache["hits"] >= 0 and cache["misses"] >= 0
+        # The round trip through BENCH_*.json keeps the stats.
+        restored = BenchResult.from_json_dict(result.to_json_dict())
+        assert restored.meta["verify_cache"] == cache
+
+    def test_telemetry_overhead_case_asserts_identity(self):
+        from repro.perf import run_case
+
+        result = run_case(
+            "telemetry-overhead", scale="quick", repeats=1
+        )
+        meta = result.meta
+        assert meta["bare_seconds"] > 0
+        assert meta["instrumented_seconds"] > 0
+        assert "overhead_fraction" in meta
+        assert meta["dispatched"] == result.events // 2
+        cache = meta["verify_cache"]
+        assert cache["hits"] + cache["misses"] > 0
 
 
 class TestCampaignThroughput:
