@@ -1254,6 +1254,107 @@ def churn_scenarios(scale: str = "quick") -> Table:
 
 
 # ======================================================================
+# FUZZ — sharded property-based search for bound violations
+# ======================================================================
+
+
+def fuzz_campaign() -> CampaignSpec:
+    """Sharded fuzz budgets over the strategy spaces of
+    :mod:`repro.fuzz`.
+
+    Each trial is one :func:`repro.fuzz.search` run; the ``shard`` axis
+    exists solely to vary the derived per-trial seed, so ``--workers``
+    fans independent search shards across the pool.  The valid spaces
+    must report zero counterexamples; the ``known-bad`` shards (full
+    scale) must each find one — they regression-test the oracle itself.
+    """
+    return CampaignSpec(
+        name="FUZZ",
+        description=(
+            "Property-based fuzz shards: theorem-bound counterexample "
+            "search over valid and known-bad strategy spaces"
+        ),
+        seed=43,
+        scenarios=(
+            ScenarioSpec(
+                builder="fuzz-probe",
+                base={},
+                axes={
+                    "quick": {
+                        "strategy": ("valid",),
+                        "budget": (25,),
+                        "shard": (0, 1),
+                    },
+                    "full": {
+                        "strategy": ("cps", "churn"),
+                        "budget": (75,),
+                        "shard": (0, 1, 2, 3),
+                    },
+                },
+            ),
+            ScenarioSpec(
+                builder="fuzz-probe",
+                base={"strategy": "known-bad", "budget": 20},
+                axes={
+                    "quick": {"shard": (0,)},
+                    "full": {"shard": (0, 1)},
+                },
+            ),
+        ),
+        measurements={
+            # The search loop owns its pulse counts (they are part of
+            # each synthesized case); the tier only sets trace level.
+            "quick": MeasurementSpec(pulses=0, warmup=0),
+            "full": MeasurementSpec(pulses=0, warmup=0),
+        },
+    )
+
+
+def fuzz_table(run: CampaignRun) -> Table:
+    """Assemble the FUZZ table from campaign trial records."""
+    table = Table(
+        "FUZZ — property-based counterexample search "
+        "(sharded strategy spaces)",
+        [
+            "strategy",
+            "shard",
+            "budget",
+            "executions",
+            "found",
+            "ok",
+            "counterexample",
+            "interesting",
+        ],
+    )
+    for record in run.records:
+        case = record.case
+        m = record.metrics
+        table.add_row(
+            case.get("strategy", "valid"),
+            case.get("shard", 0),
+            case.get("budget", 0),
+            m.get("executions", 0),
+            m.get("found", False),
+            m.get("ok", False),
+            m.get("counterexample_id", "") or "-",
+            m.get("interesting", 0),
+        )
+    table.add_note(
+        "'ok' means the shard ended the way its space predicts: valid "
+        "spaces find nothing, the known-bad space (E8's u_tilde >> u "
+        "regime) always yields a shrunk counterexample; reproduce any "
+        "row with repro fuzz run --strategy S --budget B --seed "
+        "<derived>."
+    )
+    return table
+
+
+def fuzz_scenarios(scale: str = "quick") -> Table:
+    """Sharded property-based search over the fuzz strategy spaces."""
+    return fuzz_table(execute_campaign(fuzz_campaign(), scale=scale))
+
+
+# ======================================================================
 # Registry
 # ======================================================================
 
@@ -1273,6 +1374,7 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "A3": a3_send_offset,
     "STRESS": stress_scenarios,
     "CHURN-STRESS": churn_scenarios,
+    "FUZZ": fuzz_scenarios,
 }
 
 
@@ -1309,5 +1411,6 @@ CAMPAIGN_PORTS = tuple(
         (e6_campaign, e6_table),
         (stress_campaign, stress_table),
         (churn_campaign, churn_table),
+        (fuzz_campaign, fuzz_table),
     )
 )

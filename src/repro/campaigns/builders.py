@@ -15,7 +15,8 @@ multiprocessing start method.  Register your own with
 
 The built-in builders carry the measurement logic of experiments E1
 (APA convergence), E4 (CPS skew), E5 (resilience range), E6 (baseline
-comparison), and the registry-driven stress tier (``cps-stress``);
+comparison), the registry-driven stress tier (``cps-stress``), and the
+sharded property-based fuzz budgets (``fuzz-probe``);
 ``analysis/experiments.py`` declares the grids and assembles the
 tables.
 
@@ -438,6 +439,11 @@ def build_registry_simulation(
     (its ``corruptions`` count — crashes spend the rest of the ``f``
     budget), and recovering nodes restart behind the resync wrapper.
 
+    An optional ``u_tilde`` key overrides the faulty-link uncertainty
+    (experiment E8's model-violation regime when ``u_tilde > u``); the
+    fuzzer's known-bad region uses it to reproduce the broken-fixture
+    setup through the same builder as every valid case.
+
     Returns ``(simulation, params, f, effective)``; shared by the
     ``cps-stress`` / ``cps-churn`` builders and the conformance engine
     (:mod:`repro.checks`), so conformance runs exercise byte-identical
@@ -492,6 +498,7 @@ def build_registry_simulation(
         faulty=faulty,
         behavior=behavior,
         delay_policy=case_delay_policy(case, n, default="maximum"),
+        u_tilde=case.get("u_tilde"),
         seed=seed,
         trace=trace,
         checks=checks,
@@ -563,6 +570,51 @@ def cps_churn_trial(
         "cohort_within": cohort_skew <= params.S + 1e-9,
         "events": result.events_processed,
         **effective,
+    }
+
+
+@register_builder("fuzz-probe")
+def fuzz_probe_trial(
+    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
+) -> Dict[str, Any]:
+    """One sharded fuzz budget through the property-based search loop.
+
+    The case names a strategy space (``strategy``), an example budget
+    (``budget``), and a ``shard`` index whose only job is to vary the
+    derived per-trial seed — so ``repro campaign run FUZZ --workers 8``
+    fans independent search shards across the process pool.  The row is
+    the :class:`~repro.fuzz.driver.FuzzReport` flattened to metrics;
+    any counterexample is reported by content hash and is exactly
+    reproducible via ``repro fuzz run --strategy S --budget B --seed
+    <fuzz_seed>`` (the search loop is deterministic in that triple).
+
+    The import is deferred so pool workers only pay for Hypothesis when
+    a fuzz campaign actually runs.
+    """
+    from repro.fuzz import search
+
+    report = search(
+        strategy=case.get("strategy", "valid"),
+        budget=int(case.get("budget", 50)),
+        seed=seed,
+        max_interesting=int(case.get("max_interesting", 1)),
+        trace=measurement.trace,
+    )
+    counterexample = report.counterexample
+    return {
+        "fuzz_seed": report.seed,
+        "executions": report.executions,
+        "found": report.found,
+        "ok": report.ok,
+        "counterexample_id": (
+            f"fuzz-{counterexample['fixture_id']}" if counterexample else ""
+        ),
+        "violations": (
+            len(counterexample["summary"].get("violations", []))
+            if counterexample
+            else 0
+        ),
+        "interesting": len(report.interesting),
     }
 
 

@@ -34,6 +34,9 @@ from repro.checks.conformance import (
     APA_MONITORS,
     CHURN_MONITORS,
     CPS_MONITORS,
+    FUZZ_EXPECTATION_CLAIM,
+    FUZZ_EXPECTATION_MONITOR,
+    FUZZ_MONITORS,
     MODE_MONITORS,
     MONITOR_CATALOG,
     ScenarioReport,
@@ -75,6 +78,9 @@ __all__ = [
     "APA_MONITORS",
     "CHURN_MONITORS",
     "CPS_MONITORS",
+    "FUZZ_EXPECTATION_CLAIM",
+    "FUZZ_EXPECTATION_MONITOR",
+    "FUZZ_MONITORS",
     "MODE_MONITORS",
     "MONITOR_CATALOG",
     "TOLERANCE",

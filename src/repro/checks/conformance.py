@@ -25,6 +25,13 @@ execution modes cover the catalog:
     must stay live.  The static Theorem 17 monitors do not apply — a
     recovering node legitimately pulses outside the skew bound while it
     contracts.
+``fuzz``
+    Promoted fuzz fixtures (registry kind ``fuzz``, see
+    :mod:`repro.fuzz`) replay their stored case and are judged against
+    their recorded *expectation*: a shrunk counterexample passes while
+    the monitors still fire on it, an interesting corner passes while
+    the bounds still hold.  The fixture carries its own seed, so the
+    sweep seed does not perturb the replay.
 
 Everything here is deterministic given ``seed`` — verdict payloads
 contain no wall-clock data — which is what makes persisted conformance
@@ -54,6 +61,14 @@ from repro.core.params import ProtocolParameters, max_faults
 from repro.scenarios import REGISTRY
 from repro.sync.approx_agreement import run_apa
 
+#: Promoted fuzz fixtures are judged by a single expectation check: a
+#: counterexample fixture must still make the monitors fire, an
+#: interesting corner must still pass (see :mod:`repro.fuzz`).
+FUZZ_EXPECTATION_MONITOR = "fuzz-expectation"
+FUZZ_EXPECTATION_CLAIM = (
+    "Fuzz: a promoted fixture reproduces its recorded expectation"
+)
+
 #: Monitor catalog in display order: name -> claim (matrix columns).
 MONITOR_CATALOG: Dict[str, str] = {
     SkewBoundMonitor.name: SkewBoundMonitor.claim,
@@ -62,6 +77,7 @@ MONITOR_CATALOG: Dict[str, str] = {
     TcbConsistencyMonitor.name: TcbConsistencyMonitor.claim,
     ApaContractionMonitor.name: ApaContractionMonitor.claim,
     StabilizationMonitor.name: StabilizationMonitor.claim,
+    FUZZ_EXPECTATION_MONITOR: FUZZ_EXPECTATION_CLAIM,
 }
 
 #: Monitors applicable to each execution mode.
@@ -73,12 +89,14 @@ CPS_MONITORS: Tuple[str, ...] = (
 )
 APA_MONITORS: Tuple[str, ...] = (ApaContractionMonitor.name,)
 CHURN_MONITORS: Tuple[str, ...] = (StabilizationMonitor.name,)
+FUZZ_MONITORS: Tuple[str, ...] = (FUZZ_EXPECTATION_MONITOR,)
 
 #: Monitors per execution mode (used by the matrix renderer too).
 MODE_MONITORS: Dict[str, Tuple[str, ...]] = {
     "cps": CPS_MONITORS,
     "apa": APA_MONITORS,
     "churn": CHURN_MONITORS,
+    "fuzz": FUZZ_MONITORS,
 }
 
 #: The reference configuration conformance runs drop scenarios into —
@@ -179,13 +197,15 @@ class ScenarioReport:
 
 
 def scenario_mode(kind: str, key: str) -> str:
-    """``"cps"``, ``"apa"``, or ``"churn"`` — how a registry entry is
-    conformance-run."""
+    """``"cps"``, ``"apa"``, ``"churn"``, or ``"fuzz"`` — how a
+    registry entry is conformance-run."""
     entry = REGISTRY.get(kind, key)
     if entry.kind == "adversary" and "apa" in entry.tags:
         return "apa"
     if entry.kind == "churn":
         return "churn"
+    if entry.kind == "fuzz":
+        return "fuzz"
     return "cps"
 
 
@@ -326,6 +346,16 @@ def check_scenario(
             verdicts, _outcome = run_apa_conformance(
                 key, scenario_seed, overrides
             )
+        elif mode == "fuzz":
+            # Lazy import: repro.fuzz builds on this module.
+            from repro.fuzz.oracle import (
+                expectation_verdict,
+                replay_fixture,
+            )
+
+            payload = REGISTRY.create("fuzz", key, None)
+            run = replay_fixture(payload, trace=trace)
+            verdicts = [expectation_verdict(payload, run)]
         elif mode == "churn":
             pulses = CHURN_PULSES_BY_SCALE.get(
                 scale, CHURN_PULSES_BY_SCALE["quick"]

@@ -1,0 +1,102 @@
+"""Property-based search for theorem-bound violations.
+
+The conformance engine judges *hand-written* scenarios; this package
+turns the monitors into a counterexample **oracle**: Hypothesis
+strategies synthesize registry-keyed cases — delay policies within the
+``d``/``u`` envelope, Byzantine behaviours composed from the registry's
+adversary primitives, fault schedules validated against the ``f``
+budget — and a driver runs each one through the scheduler's ``checks=``
+hook.  Any monitor FAIL is a found counterexample; Hypothesis shrinking
+reduces it to a minimal case that is serialized as a deterministic,
+content-hashed fixture and can be promoted into the scenario registry
+(kind ``fuzz``) as a permanent regression gate.
+
+``strategies``
+    The search spaces: :func:`valid_cps_cases`,
+    :func:`valid_churn_cases`, their union :func:`fuzz_cases`, and the
+    deliberately-broken :func:`known_bad_cases` region (E8's
+    ``u_tilde >> u`` corner) used to sanity-gate the oracle.
+``oracle``
+    :func:`run_fuzz_case` — one synthesized case through
+    :func:`~repro.campaigns.builders.build_registry_simulation` with
+    the applicable check set attached; :func:`replay_fixture` and the
+    byte-stable :func:`verdict_payload` for deterministic replay.
+``corpus``
+    Content-hashed fixture files under ``results/fuzz/`` —
+    save/load/list, promotion into the registry, and
+    :func:`load_promoted` to re-register a committed corpus.
+``driver``
+    :func:`search` — the budgeted Hypothesis loop with shrink capture
+    and interesting-corner scoring (near-bound skew, envelope-grazing
+    resync).
+
+See ``docs/FUZZING.md`` for the workflow.
+"""
+
+from repro.fuzz.corpus import (
+    CORPUS_DIR,
+    FIXTURE_SCHEMA,
+    PROMOTED_DIR,
+    fixture_id,
+    fixture_path,
+    list_fixtures,
+    load_fixture,
+    load_promoted,
+    make_fixture,
+    promote_fixture,
+    register_fixture,
+    save_fixture,
+)
+from repro.fuzz.driver import (
+    DEFAULT_BUDGET,
+    INTERESTING_FLOOR,
+    FuzzReport,
+    available_strategies,
+    render_fuzz_report,
+    search,
+)
+from repro.fuzz.oracle import (
+    FuzzRun,
+    expectation_verdict,
+    interest_score,
+    replay_fixture,
+    run_fuzz_case,
+    verdict_payload,
+)
+from repro.fuzz.strategies import (
+    fuzz_cases,
+    known_bad_cases,
+    valid_cps_cases,
+    valid_churn_cases,
+)
+
+__all__ = [
+    "CORPUS_DIR",
+    "DEFAULT_BUDGET",
+    "FIXTURE_SCHEMA",
+    "INTERESTING_FLOOR",
+    "PROMOTED_DIR",
+    "FuzzReport",
+    "FuzzRun",
+    "available_strategies",
+    "expectation_verdict",
+    "fixture_id",
+    "fixture_path",
+    "fuzz_cases",
+    "interest_score",
+    "known_bad_cases",
+    "list_fixtures",
+    "load_fixture",
+    "load_promoted",
+    "make_fixture",
+    "promote_fixture",
+    "register_fixture",
+    "render_fuzz_report",
+    "replay_fixture",
+    "run_fuzz_case",
+    "save_fixture",
+    "search",
+    "valid_cps_cases",
+    "valid_churn_cases",
+    "verdict_payload",
+]

@@ -1,0 +1,209 @@
+"""The fuzz corpus: content-hashed, replayable fixture files.
+
+A fixture is the serialized form of one fuzz payload plus provenance —
+the same shape the hand-written broken fixtures expose through
+``repro check fixture``: everything needed to re-execute the case
+deterministically, plus what the search observed when it found it.
+
+Identity is content-addressed: :func:`fixture_id` hashes the runnable
+triple ``(case, pulses, seed)`` through the campaign engine's
+:func:`~repro.campaigns.spec.stable_hash`, so re-discovering the same
+minimal counterexample produces the same file name, and provenance
+fields (scores, violation summaries) never perturb identity.  Files are
+written through :func:`~repro.campaigns.store.dump_json_summary`, the
+byte-stable serializer every committed artifact uses.
+
+Layout under ``results/fuzz/``::
+
+    corpus/    fuzz-<id>.json   found by `repro fuzz run` (seed corpus
+               entries are committed; CI finds are uploaded artifacts)
+    promoted/  fuzz-<id>.json   promoted via `repro fuzz promote` —
+               re-registered into the scenario registry (kind ``fuzz``)
+               by :func:`load_promoted`
+
+Registration is *never* import-time: the conformance matrix and the
+scenario catalog only see fuzz entries after an explicit
+:func:`register_fixture` / :func:`load_promoted` call, which keeps the
+committed ``results/conformance.json`` baseline byte-stable.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.campaigns.spec import stable_hash
+from repro.campaigns.store import dump_json_summary
+from repro.scenarios import REGISTRY
+from repro.scenarios.registry import ScenarioRegistry
+
+#: Schema tag every fixture file carries (versioned for migrations).
+FIXTURE_SCHEMA = "fuzz-fixture/v1"
+
+DEFAULT_FUZZ_DIR = os.path.join("results", "fuzz")
+CORPUS_DIR = os.path.join(DEFAULT_FUZZ_DIR, "corpus")
+PROMOTED_DIR = os.path.join(DEFAULT_FUZZ_DIR, "promoted")
+
+
+class MalformedFixtureError(ValueError):
+    """A fixture file that does not parse into the expected schema."""
+
+
+def fixture_id(case: Dict[str, Any], pulses: int, seed: int) -> str:
+    """Content hash of the runnable triple (16 hex chars)."""
+    return stable_hash({"case": case, "pulses": pulses, "seed": seed})[:16]
+
+
+def make_fixture(
+    case: Dict[str, Any],
+    pulses: int,
+    seed: int,
+    *,
+    strategy: str,
+    origin: str,
+    expect: str,
+    summary: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a fixture payload from a fuzz case plus provenance.
+
+    ``origin`` is ``"shrunk"`` (a minimized counterexample),
+    ``"interesting"`` (a surviving near-bound corner), or ``"seed"``
+    (hand-promoted corpus entry); ``expect`` is ``"violation"`` or
+    ``"pass"`` — what a replay must reproduce.
+    """
+    if expect not in ("violation", "pass"):
+        raise ValueError(f"expect must be violation|pass, got {expect!r}")
+    return {
+        "schema": FIXTURE_SCHEMA,
+        "fixture_id": fixture_id(case, pulses, seed),
+        "strategy": strategy,
+        "origin": origin,
+        "expect": expect,
+        "case": dict(case),
+        "pulses": pulses,
+        "seed": seed,
+        "summary": dict(summary or {}),
+    }
+
+
+def fixture_path(payload: Dict[str, Any], directory: str) -> str:
+    return os.path.join(directory, f"fuzz-{payload['fixture_id']}.json")
+
+
+def save_fixture(payload: Dict[str, Any], directory: str) -> str:
+    """Write a fixture canonically; returns the content-addressed path."""
+    os.makedirs(directory, exist_ok=True)
+    path = fixture_path(payload, directory)
+    dump_json_summary(path, payload)
+    return path
+
+
+def load_fixture(path: str) -> Dict[str, Any]:
+    """Parse and schema-check one fixture file."""
+    if not os.path.exists(path):
+        raise MalformedFixtureError(f"fixture file not found: {path}")
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise MalformedFixtureError(
+                f"{path} is not valid JSON: {exc}"
+            ) from None
+    if not isinstance(payload, dict) or payload.get(
+        "schema"
+    ) != FIXTURE_SCHEMA:
+        found = (
+            payload.get("schema") if isinstance(payload, dict) else None
+        )
+        raise MalformedFixtureError(
+            f"{path} is not a {FIXTURE_SCHEMA} fixture "
+            f"(schema: {found!r})"
+        )
+    for field in ("fixture_id", "case", "pulses", "seed", "expect"):
+        if field not in payload:
+            raise MalformedFixtureError(
+                f"{path} is missing the {field!r} field"
+            )
+    return payload
+
+
+def list_fixtures(directory: str) -> List[str]:
+    """Fixture file paths under ``directory``, sorted by name."""
+    return sorted(glob.glob(os.path.join(directory, "fuzz-*.json")))
+
+
+def register_fixture(
+    payload: Dict[str, Any],
+    registry: ScenarioRegistry = REGISTRY,
+) -> str:
+    """Register a fixture as a ``fuzz`` scenario entry; returns the key.
+
+    Idempotent: re-registering the same content hash is a no-op (the
+    registry otherwise refuses re-registration), so loading a promoted
+    corpus twice is safe.
+    """
+    key = payload["fixture_id"]
+    if registry.has("fuzz", key):
+        return key
+    frozen = json.loads(json.dumps(payload))
+    summary = payload.get("summary", {})
+    violations = summary.get("violations") or []
+    if payload["expect"] == "violation":
+        what = (
+            f"shrunk counterexample ({len(violations)} violation(s))"
+            if violations
+            else "shrunk counterexample"
+        )
+    else:
+        score = (summary.get("score") or {}).get("score")
+        what = (
+            f"interesting corner (score {score:.3f})"
+            if isinstance(score, (int, float))
+            else "interesting corner"
+        )
+    description = (
+        f"promoted fuzz fixture: {what}, strategy "
+        f"{payload.get('strategy', '?')}"
+    )
+
+    @registry.register(
+        "fuzz",
+        key,
+        description=description,
+        paper_ref="Thm 17 / Lemma 11 bounds as a counterexample oracle",
+        tags=("fuzz", payload.get("origin", "seed"), payload["expect"]),
+    )
+    def _fixture_factory(params: Any = None, **_overrides: Any):
+        return json.loads(json.dumps(frozen))
+
+    return key
+
+
+def promote_fixture(
+    payload: Dict[str, Any],
+    registry: ScenarioRegistry = REGISTRY,
+    directory: str = PROMOTED_DIR,
+) -> tuple:
+    """Promote a fixture: persist it under ``promoted/`` and register
+    it as a ``fuzz`` scenario entry.
+
+    Returns ``(key, path)``.  The file is the durable half (the
+    registry is per-process); :func:`load_promoted` re-registers a
+    committed corpus.
+    """
+    path = save_fixture(payload, directory)
+    key = register_fixture(payload, registry)
+    return key, path
+
+
+def load_promoted(
+    registry: ScenarioRegistry = REGISTRY,
+    directory: str = PROMOTED_DIR,
+) -> List[str]:
+    """Register every promoted fixture on disk; returns their keys."""
+    keys = []
+    for path in list_fixtures(directory):
+        keys.append(register_fixture(load_fixture(path), registry))
+    return keys

@@ -1,0 +1,308 @@
+"""Hypothesis strategies over the scenario registry.
+
+Every strategy draws a complete *fuzz payload* — a plain dict
+``{"case": ..., "pulses": ..., "seed": ...}`` whose ``case`` follows
+:func:`~repro.campaigns.builders.build_registry_simulation`
+conventions — so a drawn example is exactly what the campaign engine
+already knows how to run, hash, and cache.
+
+The **valid** spaces stay inside the model the theorems assume:
+
+* delays honour the ``d``/``u`` envelope (``d`` fixed, ``u < d/2``, no
+  ``u_tilde`` override), with policy parameters drawn over their full
+  documented ranges;
+* Byzantine behaviours are composed from the registry's ``cps``-tagged
+  adversary primitives (``apa``-tagged round-model adversaries cannot
+  run under the pulse engine);
+* fault schedules are instantiated during the draw and discarded
+  (``hypothesis.assume``) when the profile cannot fit the deployment's
+  ``f`` budget, so the driver only ever sees schedules that validate.
+
+A monitor violation inside these spaces is a genuine counterexample to
+the Theorem 17 / Lemma 11 / churn-stabilization claims as implemented.
+
+The **known-bad** space deliberately breaks the model the same way the
+hand-written broken fixture does (E8: ``rushing-echo`` +
+``fast-to-faulty`` with ``u_tilde`` a multiple of ``u``), which is what
+sanity-gates the whole loop: the fuzzer must find a violation there and
+shrink it to a case no larger than the hand-written one.
+
+Choice lists are ordered simplest-first because Hypothesis shrinks
+toward the first element — a shrunk counterexample prefers ``silent``
+over ``rushing-echo``, the smallest ``n``, the fewest pulses.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume
+from hypothesis import strategies as st
+
+from repro import scenarios
+from repro.core.params import derive_parameters
+from repro.dynamics.schedule import MalformedScheduleError
+
+#: The fixed message-delay upper bound; ``u`` is fuzzed below ``d/2``.
+FUZZ_D = 1.0
+
+#: System sizes searched.  CPS allows ``n >= 4`` (``f >= 1``); churn
+#: profiles need a slightly larger budget to fit their corruptions.
+CPS_N_RANGE = (4, 8)
+CHURN_N_RANGE = (5, 8)
+
+#: Drift-rate bound: the paper needs ``theta < THETA_MAX ~ 1.0795``;
+#: realistic deployments sit near 1, and the monitors' bounds tighten
+#: as ``theta`` falls, so the search concentrates where violations
+#: would be hardest to hide.
+THETA_RANGE = (1.0, 1.005)
+
+#: Delay-uncertainty range; the TCB construction requires ``u < d/2``.
+U_RANGE = (0.005, 0.05)
+
+#: Pulses per run.  Churn runs are longer: every scheduled activation
+#: must fire and the rejoiner needs resync headroom (the conformance
+#: tiers use 14 for the same reason).
+CPS_PULSES_RANGE = (4, 10)
+CHURN_PULSES_RANGE = (12, 16)
+
+#: ``u_tilde = factor * u`` in the known-bad region (E8 uses 16).
+BAD_U_TILDE_FACTORS = (2, 16)
+
+#: CPS-engine adversaries (``apa``-tagged entries are round-model
+#: only), simplest first for shrinking.
+CPS_ADVERSARIES = (
+    "silent",
+    "mimic-split",
+    "equivocating-subset",
+    "coordinated-offset",
+    "replay",
+    "rushing-echo",
+)
+
+#: Every registered delay policy runs under the CPS engine.
+CPS_DELAYS = (
+    "maximum",
+    "minimum",
+    "constant-fraction",
+    "random",
+    "skewing",
+    "biased-partition",
+    "eclipse",
+    "fast-to-faulty",
+    "flicker-partition",
+)
+
+DRIFTS = ("random", "extreme", "mixed", "staggered")
+
+#: The churn envelope is deliberately narrower: a rejoiner's resync
+#: budget (RESYNC_PULSE_BUDGET) is calibrated against benign delivery,
+#: so targeted-delay policies (eclipse of the rejoiner, flickering
+#: partitions) compose with churn outside the validated envelope.
+CHURN_ADVERSARIES = ("silent", "mimic-split", "rushing-echo")
+CHURN_DELAYS = ("maximum", "minimum", "random")
+CHURN_DRIFTS = ("random", "extreme")
+
+CHURN_PROFILES = (
+    "single-crash",
+    "crash-recover-wave",
+    "flapping-node",
+    "late-join-cohort",
+    "rolling-crashes",
+    "adversary-handoff",
+)
+
+_FRACTION = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+_SEED = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _theta() -> st.SearchStrategy:
+    return st.floats(
+        min_value=THETA_RANGE[0],
+        max_value=THETA_RANGE[1],
+        allow_nan=False,
+        allow_infinity=False,
+    )
+
+
+def _u() -> st.SearchStrategy:
+    return st.floats(
+        min_value=U_RANGE[0],
+        max_value=U_RANGE[1],
+        allow_nan=False,
+        allow_infinity=False,
+    )
+
+
+@st.composite
+def _adversary_axis(draw, keys=CPS_ADVERSARIES):
+    """``(key, params)`` with factory parameters over their ranges."""
+    key = draw(st.sampled_from(keys))
+    params = {}
+    if key == "mimic-split":
+        params = {
+            "spread_fraction": draw(_FRACTION),
+            "stagger": draw(
+                st.floats(
+                    min_value=0.0,
+                    max_value=0.1,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            ),
+        }
+    elif key == "coordinated-offset":
+        params = {
+            "offset_fraction": draw(_FRACTION),
+            "alternate": draw(st.booleans()),
+        }
+    elif key == "replay":
+        params = {
+            "seed": draw(st.integers(min_value=0, max_value=99)),
+            "copies": draw(st.integers(min_value=1, max_value=3)),
+        }
+    return key, params
+
+
+@st.composite
+def _delay_axis(draw, keys=CPS_DELAYS):
+    """``(key, params)`` within the honest ``d``/``u`` envelope."""
+    key = draw(st.sampled_from(keys))
+    params = {}
+    if key == "constant-fraction":
+        params = {"fraction": draw(_FRACTION)}
+    elif key == "random":
+        params = {"seed": draw(st.integers(min_value=0, max_value=99))}
+    elif key == "flicker-partition":
+        params = {
+            "period": draw(
+                st.floats(
+                    min_value=2.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+        }
+    return key, params
+
+
+@st.composite
+def valid_cps_cases(draw):
+    """Static CPS deployments inside the model the theorems assume."""
+    n = draw(st.integers(*CPS_N_RANGE))
+    adversary, adversary_params = draw(_adversary_axis())
+    delay, delay_params = draw(_delay_axis())
+    case = {
+        "n": n,
+        "theta": draw(_theta()),
+        "d": FUZZ_D,
+        "u": draw(_u()),
+        "adversary": adversary,
+        "delay": delay,
+        "drift": draw(st.sampled_from(DRIFTS)),
+    }
+    if adversary_params:
+        case["adversary_params"] = adversary_params
+    if delay_params:
+        case["delay_params"] = delay_params
+    return {
+        "case": case,
+        "pulses": draw(st.integers(*CPS_PULSES_RANGE)),
+        "seed": draw(_SEED),
+    }
+
+
+@st.composite
+def _churn_profile_axis(draw, n: int):
+    """``(key, params)`` for a fault-schedule profile sized to ``n``."""
+    key = draw(st.sampled_from(CHURN_PROFILES))
+    params = {}
+    if key == "single-crash":
+        params = {
+            "node": draw(st.integers(min_value=0, max_value=n - 1)),
+            "at_pulse": draw(st.integers(min_value=2, max_value=4)),
+        }
+    elif key in ("crash-recover-wave", "late-join-cohort",
+                 "adversary-handoff"):
+        params = {"at_pulse": draw(st.integers(min_value=2, max_value=3))}
+    elif key == "flapping-node":
+        params = {
+            "cycles": draw(st.integers(min_value=1, max_value=2)),
+            "node": draw(st.integers(min_value=0, max_value=n - 1)),
+        }
+    elif key == "rolling-crashes":
+        params = {"gap": draw(st.integers(min_value=3, max_value=5))}
+    return key, params
+
+
+@st.composite
+def valid_churn_cases(draw):
+    """Deployments under membership dynamics within the ``f`` budget.
+
+    The fault schedule is instantiated (and validated) during the draw;
+    profiles that cannot fit the deployment's budget are discarded with
+    ``assume``, so every surviving example carries a well-formed
+    schedule.
+    """
+    n = draw(st.integers(*CHURN_N_RANGE))
+    theta = draw(_theta())
+    u = draw(_u())
+    churn, churn_params = draw(_churn_profile_axis(n))
+    params = derive_parameters(theta, FUZZ_D, u, n)
+    try:
+        schedule = scenarios.create("churn", churn, params, **churn_params)
+        schedule.validate(params.n, params.f)
+    except MalformedScheduleError:
+        assume(False)
+    case = {
+        "n": n,
+        "theta": theta,
+        "d": FUZZ_D,
+        "u": u,
+        "churn": churn,
+        "adversary": draw(st.sampled_from(CHURN_ADVERSARIES)),
+        "delay": draw(st.sampled_from(CHURN_DELAYS)),
+        "drift": draw(st.sampled_from(CHURN_DRIFTS)),
+    }
+    if churn_params:
+        case["churn_params"] = churn_params
+    return {
+        "case": case,
+        "pulses": draw(st.integers(*CHURN_PULSES_RANGE)),
+        "seed": draw(_SEED),
+    }
+
+
+def fuzz_cases() -> st.SearchStrategy:
+    """The full valid space: static CPS plus churn deployments."""
+    return st.one_of(valid_cps_cases(), valid_churn_cases())
+
+
+@st.composite
+def known_bad_cases(draw):
+    """E8's model-violation region: faulty links undercut ``u``.
+
+    ``rushing-echo`` + ``fast-to-faulty`` with ``u_tilde`` a multiple
+    of ``u`` reproduces the broken fixture's setup across sizes and
+    factors; every point in this region breaks Theorem 17, which is
+    what the sanity-gate test relies on.
+    """
+    n = draw(st.integers(*CPS_N_RANGE))
+    u = draw(st.sampled_from([0.01, 0.02]))
+    factor = draw(st.integers(*BAD_U_TILDE_FACTORS))
+    case = {
+        "n": n,
+        "theta": draw(st.sampled_from([1.0005, 1.001])),
+        "d": FUZZ_D,
+        "u": u,
+        "u_tilde": round(factor * u, 10),
+        "adversary": "rushing-echo",
+        "delay": "fast-to-faulty",
+        "drift": "extreme",
+    }
+    return {
+        "case": case,
+        "pulses": draw(st.integers(min_value=6, max_value=12)),
+        "seed": draw(st.integers(min_value=0, max_value=999)),
+    }

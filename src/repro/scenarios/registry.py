@@ -33,6 +33,13 @@ can be resolved uniformly from a case dict:
     dynamics of a run (crashes, recoveries, late joins, Byzantine
     flips), sized from ``params.n`` / ``params.f`` so one profile
     composes with any deployment.
+``fuzz``
+    ``factory(params, **overrides) -> dict`` — a promoted fuzz
+    fixture's replay payload (case, pulses, seed, expectation); the
+    positional context is ignored (fixtures are self-contained).
+    Entries of this kind are only registered by explicit promotion
+    (:func:`repro.fuzz.corpus.register_fixture`), never at import
+    time, so catalogs and conformance baselines stay stable.
 
 Keyword ``overrides`` correspond to the entry's declared
 :class:`ParamSpec` list; unknown keywords raise ``TypeError`` from the
@@ -66,6 +73,7 @@ KINDS: Tuple[str, ...] = (
     "topology",
     "drift",
     "churn",
+    "fuzz",
 )
 
 

@@ -1,0 +1,46 @@
+"""Shared pytest configuration: pinned Hypothesis profiles.
+
+Two profiles, selected by the ``HYPOTHESIS_PROFILE`` environment
+variable (see ``docs/FUZZING.md``):
+
+``tier1`` (default)
+    Derandomized, database-free, no deadline — property tests in the
+    tier-1 suite are exactly reproducible run-to-run and never flake on
+    shared-runner timing.  Budgets stay small; the suite is a gate, not
+    a search.
+
+``deep``
+    The nightly search tier: bigger budgets, seeded (non-derandomized)
+    generation so successive nights explore different corners, and
+    ``print_blob`` for reproduction lines in CI logs.
+
+The fuzz driver (:mod:`repro.fuzz.driver`) pins every Hypothesis
+setting explicitly in its own decorator, so profile selection changes
+*test* behaviour only — ``repro fuzz run`` results are identical under
+either profile.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "tier1",
+    derandomize=True,
+    database=None,
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.register_profile(
+    "deep",
+    derandomize=False,
+    database=None,
+    deadline=None,
+    max_examples=200,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "tier1"))

@@ -19,7 +19,7 @@ class TestRegistry:
     def test_all_registered(self, tables):
         assert set(tables) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-            "A1", "A2", "A3", "STRESS", "CHURN-STRESS",
+            "A1", "A2", "A3", "STRESS", "CHURN-STRESS", "FUZZ",
         }
 
     def test_unknown_experiment_rejected(self):
@@ -131,6 +131,17 @@ class TestClaims:
         rows = {row[0]: row for row in table.rows}
         assert rows["f-b"][2] == "ok"
         assert rows["f"][2] != "ok"
+
+    def test_fuzz_shards_end_as_their_space_predicts(self, tables):
+        table = tables["FUZZ"]
+        assert all(table.column("ok"))
+        # The quick grid carries both polarities: valid shards find
+        # nothing, the known-bad shard always finds a counterexample.
+        by_strategy = dict(
+            zip(table.column("strategy"), table.column("found"))
+        )
+        assert by_strategy["valid"] is False
+        assert by_strategy["known-bad"] is True
 
     def test_a3_send_offset_matters(self, tables):
         table = tables["A3"]

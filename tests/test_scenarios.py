@@ -13,6 +13,8 @@ The satellite guarantees under test:
 * ``repro scenarios list/show`` renders the catalog.
 """
 
+import inspect
+
 import pytest
 
 from repro import scenarios
@@ -43,6 +45,11 @@ class TestCatalog:
     def test_registry_is_populated(self):
         assert len(scenarios.REGISTRY) >= 12
         for kind in scenarios.KINDS:
+            if kind == "fuzz":
+                # Fuzz fixtures register only at explicit promotion
+                # time (other suites may already have promoted some),
+                # so the kind is allowed to be empty.
+                continue
             assert scenarios.entries(kind), f"no {kind} entries"
 
     def test_ported_entries_present(self):
@@ -325,3 +332,72 @@ class TestScenariosCli:
         assert main(["run", "STRESS"]) == 0
         out = capsys.readouterr().out
         assert "registry-driven scenarios" in out
+
+
+# ----------------------------------------------------------------------
+# Schema conformance: declared ParamSpecs match factory signatures
+# ----------------------------------------------------------------------
+
+#: Positional context each kind's factories receive (the registry
+#: docstring's conventions); ``fuzz`` entries exist only after explicit
+#: promotion, so the import-time catalog has none to instantiate.
+KIND_CONTEXT = {
+    "adversary": (PARAMS,),
+    "delay": (PARAMS.n,),
+    "topology": (8,),
+    "drift": (PARAMS, 0),
+    "churn": (PARAMS,),
+    "fuzz": (None,),
+}
+
+
+class TestSchemaConformance:
+    @pytest.mark.parametrize(
+        "qualified", [e.qualified for e in scenarios.entries()]
+    )
+    def test_declared_params_match_factory_signature(self, qualified):
+        """Every ParamSpec names a real factory keyword, and explicit
+        keyword defaults agree with the declared default."""
+        kind, _, key = qualified.partition(":")
+        entry = scenarios.get(kind, key)
+        signature = inspect.signature(entry.factory)
+        accepts_kwargs = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in signature.parameters.values()
+        )
+        for spec in entry.params:
+            parameter = signature.parameters.get(spec.name)
+            assert parameter is not None or accepts_kwargs, (
+                f"{qualified}: declared param {spec.name!r} is not a "
+                f"factory keyword"
+            )
+            if (
+                parameter is not None
+                and parameter.default is not inspect.Parameter.empty
+            ):
+                assert parameter.default == spec.default, (
+                    f"{qualified}: {spec.name} default drifted "
+                    f"({parameter.default!r} != declared "
+                    f"{spec.default!r})"
+                )
+
+    @pytest.mark.parametrize(
+        "qualified", [e.qualified for e in scenarios.entries()]
+    )
+    def test_every_entry_instantiates_with_defaults(self, qualified):
+        """Each factory accepts its kind's positional context with no
+        overrides — the catalog's documented defaults actually build."""
+        kind, _, key = qualified.partition(":")
+        produced = scenarios.create(kind, key, *KIND_CONTEXT[kind])
+        assert produced is not None
+
+    @pytest.mark.parametrize(
+        "qualified", [e.qualified for e in scenarios.entries()]
+    )
+    def test_catalog_metadata_is_complete(self, qualified):
+        kind, _, key = qualified.partition(":")
+        entry = scenarios.get(kind, key)
+        assert entry.description, qualified
+        payload = entry.as_dict()
+        assert payload["kind"] == kind and payload["key"] == key
+        assert set(payload["params"]) == {s.name for s in entry.params}
