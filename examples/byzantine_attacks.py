@@ -8,7 +8,7 @@ undercut the honest minimum delay — which is exactly the gap Theorem 5
 proves fundamental.
 """
 
-from repro import build_cps_simulation, derive_parameters
+from repro import assemble_cps_simulation, derive_parameters
 from repro.analysis.metrics import PulseReport
 from repro.analysis.reporting import Table
 from repro.core.attacks import (
@@ -26,7 +26,7 @@ PULSES = 15
 
 def run(params, behavior, delay_policy=None, u_tilde=None):
     faulty = list(range(params.n - params.f, params.n))
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         faulty=faulty,
         behavior=behavior,

@@ -14,7 +14,7 @@ Walks the churn engine end to end:
 """
 
 from repro.analysis.metrics import max_skew, stabilization_report
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import derive_parameters
 from repro.dynamics import (
     ChurnController,
@@ -58,7 +58,7 @@ else:
 
 print("\n=== 2. Inject and run ===")
 controller = ChurnController(schedule, params)
-simulation = build_cps_simulation(
+simulation = assemble_cps_simulation(
     params,
     faulty=schedule.initially_corrupted(params.n),
     seed=11,

@@ -13,7 +13,7 @@ then shows the headline application: simulating lock-step rounds with
 almost no overhead over the raw network delay.
 """
 
-from repro import build_cps_simulation, derive_parameters
+from repro import assemble_cps_simulation, derive_parameters
 from repro.analysis.metrics import PulseReport
 from repro.analysis.reporting import Table
 from repro.baselines.lynch_welch import (
@@ -50,7 +50,7 @@ def main() -> None:
     params = derive_parameters(THETA, D, U, N)
     faulty = list(range(N - params.f, N))
     group_a = [v for v in range(N) if v % 2 == 0]
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         faulty=faulty,
         behavior=CpsMimicDealerAttack(params, group_a),

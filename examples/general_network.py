@@ -15,7 +15,7 @@ parameters exist.
 """
 
 from repro.analysis.metrics import PulseReport
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import max_faults
 from repro.core.topology import (
     circulant,
@@ -69,7 +69,7 @@ def main() -> None:
         f"(f = {params.f} of ceil(n/2)-1 = {max_faults(N)})"
     )
 
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params, faulty=list(range(N - F, N)), seed=5, trace=False
     )
     result = simulation.run(max_pulses=10)

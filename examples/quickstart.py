@@ -7,7 +7,7 @@ optimal resilience f = ceil(n/2) - 1 = 3 under a timing-split attack, and
 checks every Theorem 17 guarantee on the measured pulses.
 """
 
-from repro import PulseReport, build_cps_simulation, derive_parameters
+from repro import PulseReport, assemble_cps_simulation, derive_parameters
 from repro.analysis.metrics import skew_trajectory
 from repro.core.attacks import CpsMimicDealerAttack
 from repro.sim.network import SkewingDelayPolicy
@@ -25,7 +25,7 @@ def main() -> None:
 
     faulty = [5, 6, 7]
     group_a = [0, 2, 4]
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         faulty=faulty,
         behavior=CpsMimicDealerAttack(params, group_a),

@@ -1,0 +1,229 @@
+"""The unified simulation construction facade.
+
+One entry point — :func:`build_simulation` — assembles a runnable CPS
+simulation from a registry-keyed case dict on either execution backend:
+
+``event``
+    The discrete-event engine (:class:`~repro.sim.scheduler.Simulation`)
+    — per-message dispatch, every adversary/churn behaviour, the
+    reference semantics.
+``vectorized``
+    The round-batched numpy engine
+    (:class:`~repro.sim.vectorized.VectorizedSimulation`) — array ops
+    over whole pulse rounds, built for the n = 100..10,000 regime.
+    Supports every delay policy and drift profile under the *silent*
+    adversary; churn and active Byzantine behaviours raise
+    :class:`~repro.sim.vectorized.UnsupportedScenarioError`.
+
+The facade subsumes the historical builder sprawl
+(``build_cps_simulation`` wiring plus the registry-keyed
+``build_registry_simulation``); both old names remain as thin
+deprecation shims, and every content-addressed hash they fed stays
+byte-identical.  The case-dict conventions are unchanged:
+
+>>> built = build_simulation(
+...     {"n": 6, "adversary": "silent", "delay": "maximum",
+...      "drift": "extreme"},
+...     backend="vectorized", seed=1,
+... )
+>>> result = built.simulation.run(max_pulses=8)
+
+Backends are named by string everywhere a case travels (specs, CLI
+flags, perf cases); :func:`resolve_backend` owns validation and the
+did-you-mean hint for typos.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import networkx as nx
+
+from repro import scenarios
+from repro.core.cps import assemble_cps_simulation
+from repro.core.params import ProtocolParameters, derive_parameters, max_faults
+from repro.core.topology import simulate_full_connectivity, uniform_timings
+
+#: The registered execution backends, in documentation order.
+BACKENDS: Tuple[str, ...] = ("event", "vectorized")
+
+#: The backend implied everywhere a backend is not named.
+DEFAULT_BACKEND = "event"
+
+
+class UnknownBackendError(ValueError):
+    """An unregistered backend name, with a did-you-mean hint."""
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Normalize and validate a backend name (``None`` → the default)."""
+    if name is None:
+        return DEFAULT_BACKEND
+    if name in BACKENDS:
+        return name
+    hint = ""
+    close = difflib.get_close_matches(name, BACKENDS, n=1)
+    if close:
+        hint = f" — did you mean {close[0]!r}?"
+    raise UnknownBackendError(
+        f"unknown backend {name!r}{hint} (available: {list(BACKENDS)})"
+    )
+
+
+@dataclass(frozen=True)
+class BuiltSimulation:
+    """What :func:`build_simulation` hands back.
+
+    ``simulation`` exposes the engine-agnostic surface (``run`` /
+    ``attach_checks`` / ``honest`` / ``dynamics``); ``params`` are the
+    derived protocol parameters (the *overlay's* parameters when the
+    case names a topology); ``effective`` carries the effective
+    ``d_eff``/``u_eff`` the measurement should be judged against.
+    """
+
+    simulation: Any
+    params: ProtocolParameters
+    f: int
+    effective: Dict[str, float]
+    backend: str
+
+    def legacy_tuple(self) -> Tuple[Any, ProtocolParameters, int, Dict]:
+        """The ``(simulation, params, f, effective)`` shape of the
+        deprecated ``build_registry_simulation``."""
+        return (self.simulation, self.params, self.f, self.effective)
+
+
+def _case_parameters(
+    case: Dict[str, Any],
+) -> Tuple[ProtocolParameters, int, Dict[str, float]]:
+    """Derive protocol parameters (Appendix A overlay when asked)."""
+    n = case["n"]
+    theta = case.get("theta", 1.001)
+    d = case.get("d", 1.0)
+    u = case.get("u", 0.01)
+    topology_key = case.get("topology")
+    if topology_key is not None:
+        graph = scenarios.create(
+            "topology", topology_key, n,
+            **case.get("topology_params", {})
+        )
+        connectivity = nx.node_connectivity(graph)
+        f = case.get("f")
+        if f is None:
+            f = min(max_faults(n), connectivity - 1)
+        overlay = simulate_full_connectivity(
+            graph, uniform_timings(graph, d, u), f, theta=theta
+        )
+        params = overlay.derive_parameters(theta)
+        effective = {"d_eff": overlay.d_eff, "u_eff": overlay.u_eff}
+    else:
+        params = derive_parameters(theta, d, u, n, f=case.get("f"))
+        f = params.f
+        effective = {"d_eff": d, "u_eff": u}
+    return params, f, effective
+
+
+def build_simulation(
+    case: Dict[str, Any],
+    backend: str = DEFAULT_BACKEND,
+    seed: int = 0,
+    trace: Any = "pulses",
+    checks: Any = None,
+    dynamics: Any = None,
+) -> BuiltSimulation:
+    """Assemble a CPS simulation from scenario-registry keys.
+
+    The case names each behaviour by registry key — ``adversary``,
+    ``delay``, ``drift``, optionally ``topology``, and optionally
+    ``churn`` — with optional ``*_params`` dicts forwarded to the
+    factories.  Without a topology the run uses the paper's base model
+    (a clique with the given ``d``/``u``); with one, the Appendix A
+    translation is applied first and CPS runs with the effective
+    ``(d_eff, u_eff)``.
+
+    A ``churn`` key attaches a fault schedule through the scheduler's
+    dynamics hook (event backend only); an explicit ``dynamics`` hook
+    takes precedence over the key.  An optional ``u_tilde`` case key
+    overrides the faulty-link uncertainty (experiment E8's
+    model-violation regime when ``u_tilde > u``).
+
+    ``backend`` selects the engine; resolution failures raise
+    :class:`UnknownBackendError` and scenarios outside the vectorized
+    backend's support raise
+    :class:`~repro.sim.vectorized.UnsupportedScenarioError` at build
+    time, never mid-run.  Identical ``(case, seed)`` inputs resolve
+    identical clocks and parameters on both backends, which is what
+    the cross-backend differential suite leans on.
+    """
+    backend = resolve_backend(backend)
+    n = case["n"]
+    params, f, effective = _case_parameters(case)
+    adversary_key = case.get("adversary", "silent")
+    # Resolve through the registry first so typos keep their
+    # did-you-mean behaviour on every backend.
+    scenarios.REGISTRY.get("adversary", adversary_key)
+    churn_key = case.get("churn")
+    clocks = scenarios.create(
+        "drift", case.get("drift", "random"), params, seed,
+        **case.get("drift_params", {})
+    )
+    delay_policy = scenarios.create(
+        "delay", case.get("delay", "maximum"), n,
+        **case.get("delay_params", {})
+    )
+    if backend == "vectorized":
+        from repro.sim.vectorized import (
+            UnsupportedScenarioError,
+            VectorizedSimulation,
+        )
+
+        if dynamics is not None or churn_key is not None:
+            raise UnsupportedScenarioError(
+                "the vectorized backend does not support membership "
+                "dynamics (churn); use backend='event'"
+            )
+        if adversary_key != "silent":
+            raise UnsupportedScenarioError(
+                f"the vectorized backend only supports the 'silent' "
+                f"adversary, got {adversary_key!r}; use backend='event'"
+            )
+        simulation: Any = VectorizedSimulation(
+            params,
+            clocks=clocks,
+            faulty=list(range(n - f, n)) if f else [],
+            delay_policy=delay_policy,
+            u_tilde=case.get("u_tilde"),
+            seed=seed,
+            trace=trace,
+            checks=checks,
+        )
+        return BuiltSimulation(simulation, params, f, effective, backend)
+    if dynamics is None and churn_key is not None:
+        from repro.dynamics import ChurnController
+
+        schedule = scenarios.create(
+            "churn", churn_key, params, **case.get("churn_params", {})
+        )
+        dynamics = ChurnController(schedule, params)
+        faulty = schedule.initially_corrupted(n)
+    else:
+        faulty = list(range(n - f, n)) if f else []
+    behavior = scenarios.create(
+        "adversary", adversary_key, params,
+        **case.get("adversary_params", {})
+    )
+    simulation = assemble_cps_simulation(
+        params,
+        clocks=clocks,
+        faulty=faulty,
+        behavior=behavior,
+        delay_policy=delay_policy,
+        u_tilde=case.get("u_tilde"),
+        seed=seed,
+        trace=trace,
+        checks=checks,
+        dynamics=dynamics,
+    )
+    return BuiltSimulation(simulation, params, f, effective, backend)

@@ -31,9 +31,8 @@ from __future__ import annotations
 
 import importlib
 import math
+import warnings
 from typing import Any, Callable, Dict, List, Tuple
-
-import networkx as nx
 
 from repro import scenarios
 from repro.analysis import metrics, theory
@@ -56,12 +55,8 @@ from repro.baselines.srikanth_toueg import (
 )
 from repro.campaigns.spec import MeasurementSpec
 from repro.core.attacks import timing_split_group
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import derive_parameters, max_faults
-from repro.core.topology import (
-    simulate_full_connectivity,
-    uniform_timings,
-)
 from repro.sim.clocks import HardwareClock
 from repro.sync.approx_agreement import run_apa
 
@@ -225,7 +220,7 @@ def cps_skew_trial(
     params = derive_parameters(theta, case.get("d", 1.0), u, n)
     faulty = list(range(n - params.f, n))
     behavior = CPS_ADVERSARIES[case["adversary"]](params)
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         faulty=faulty,
         behavior=behavior,
@@ -290,7 +285,7 @@ def resilience_trial(
             if f
             else None
         )
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params,
             clocks=_extreme_clocks(params, n, theta),
             faulty=faulty,
@@ -351,7 +346,7 @@ def algorithm_comparison_trial(
     faulty = list(range(n - f, n))
     if algorithm == "CPS (this paper)":
         params = derive_parameters(theta, d, u, n)
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params,
             faulty=faulty,
             behavior=scenarios.create("adversary", "mimic-split", params),
@@ -422,89 +417,24 @@ def build_registry_simulation(
     trace: Any = "pulses",
     checks: Any = None,
 ) -> Tuple[Any, Any, int, Dict[str, float]]:
-    """Assemble a CPS simulation entirely from scenario-registry keys.
+    """Deprecated alias of :func:`repro.build.build_simulation`.
 
-    The case names each behaviour by registry key — ``adversary``,
-    ``delay``, ``drift``, optionally ``topology``, and optionally
-    ``churn`` — with optional ``*_params`` dicts forwarded to the
-    factories.  Without a topology the run uses the paper's base model
-    (a clique with the given ``d``/``u``); with one, the Appendix A
-    translation is applied first: the physical graph is overlaid with
-    ``f + 1`` vertex-disjoint paths per pair and CPS runs with the
-    effective ``(d_eff, u_eff)``, so measurements are compared against
-    the *overlay's* bounds.
-
-    A ``churn`` key attaches a fault schedule through the scheduler's
-    dynamics hook; the schedule then owns the initial Byzantine set
-    (its ``corruptions`` count — crashes spend the rest of the ``f``
-    budget), and recovering nodes restart behind the resync wrapper.
-
-    An optional ``u_tilde`` key overrides the faulty-link uncertainty
-    (experiment E8's model-violation regime when ``u_tilde > u``); the
-    fuzzer's known-bad region uses it to reproduce the broken-fixture
-    setup through the same builder as every valid case.
-
-    Returns ``(simulation, params, f, effective)``; shared by the
-    ``cps-stress`` / ``cps-churn`` builders and the conformance engine
-    (:mod:`repro.checks`), so conformance runs exercise byte-identical
-    executions.
+    The registry-keyed assembly moved to the unified facade (which also
+    selects the execution backend); this shim forwards verbatim on the
+    event backend and keeps the historical
+    ``(simulation, params, f, effective)`` return shape.
     """
-    n = case["n"]
-    theta = case.get("theta", 1.001)
-    d = case.get("d", 1.0)
-    u = case.get("u", 0.01)
-    topology_key = case.get("topology")
-    if topology_key is not None:
-        graph = scenarios.create(
-            "topology", topology_key, n,
-            **case.get("topology_params", {})
-        )
-        connectivity = nx.node_connectivity(graph)
-        f = case.get("f")
-        if f is None:
-            f = min(max_faults(n), connectivity - 1)
-        overlay = simulate_full_connectivity(
-            graph, uniform_timings(graph, d, u), f, theta=theta
-        )
-        params = overlay.derive_parameters(theta)
-        effective = {"d_eff": overlay.d_eff, "u_eff": overlay.u_eff}
-    else:
-        params = derive_parameters(theta, d, u, n, f=case.get("f"))
-        f = params.f
-        effective = {"d_eff": d, "u_eff": u}
-    churn_key = case.get("churn")
-    dynamics = None
-    if churn_key is not None:
-        from repro.dynamics import ChurnController
+    from repro.build import build_simulation
 
-        schedule = scenarios.create(
-            "churn", churn_key, params, **case.get("churn_params", {})
-        )
-        dynamics = ChurnController(schedule, params)
-        faulty = schedule.initially_corrupted(n)
-    else:
-        faulty = list(range(n - f, n)) if f else []
-    behavior = scenarios.create(
-        "adversary", case.get("adversary", "silent"), params,
-        **case.get("adversary_params", {})
+    warnings.warn(
+        "build_registry_simulation is deprecated; use "
+        "repro.build.build_simulation(case, backend=...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    clocks = scenarios.create(
-        "drift", case.get("drift", "random"), params, seed,
-        **case.get("drift_params", {})
-    )
-    simulation = build_cps_simulation(
-        params,
-        clocks=clocks,
-        faulty=faulty,
-        behavior=behavior,
-        delay_policy=case_delay_policy(case, n, default="maximum"),
-        u_tilde=case.get("u_tilde"),
-        seed=seed,
-        trace=trace,
-        checks=checks,
-        dynamics=dynamics,
-    )
-    return simulation, params, f, effective
+    return build_simulation(
+        case, seed=seed, trace=trace, checks=checks
+    ).legacy_tuple()
 
 
 @register_builder("cps-churn")
@@ -513,16 +443,21 @@ def cps_churn_trial(
 ) -> Dict[str, Any]:
     """One CPS run under a fault schedule, judged on re-stabilization.
 
-    The case follows :func:`build_registry_simulation` conventions plus
-    a mandatory ``churn`` registry key.  Static pulse-index metrics do
-    not apply to disrupted nodes, so the row reports the *stable
-    cohort's* skew (never-disturbed nodes stay index-aligned) and the
-    time-aligned stabilization metrics of
+    The case follows :func:`repro.build.build_simulation` conventions
+    plus a mandatory ``churn`` registry key.  Static pulse-index
+    metrics do not apply to disrupted nodes, so the row reports the
+    *stable cohort's* skew (never-disturbed nodes stay index-aligned)
+    and the time-aligned stabilization metrics of
     :mod:`repro.analysis.metrics` for every applied activation.
     """
-    simulation, params, f, effective = build_registry_simulation(
-        case, seed, trace=measurement.trace
-    )
+    from repro.build import build_simulation
+
+    simulation, params, f, effective = build_simulation(
+        case,
+        backend=measurement.backend,
+        seed=seed,
+        trace=measurement.trace,
+    ).legacy_tuple()
     controller = simulation.dynamics
     if controller is None:
         raise TrialFailure("cps-churn cases must name a 'churn' profile")
@@ -624,11 +559,18 @@ def cps_stress_trial(
 ) -> Dict[str, Any]:
     """One CPS run fully assembled from scenario-registry keys.
 
-    See :func:`build_registry_simulation` for the case conventions.
+    See :func:`repro.build.build_simulation` for the case conventions;
+    ``measurement.backend`` selects the engine, which is how the
+    E9-SCALE campaign reaches n = 10,000 on the vectorized backend.
     """
-    simulation, params, f, effective = build_registry_simulation(
-        case, seed, trace=measurement.trace
-    )
+    from repro.build import build_simulation
+
+    simulation, params, f, effective = build_simulation(
+        case,
+        backend=measurement.backend,
+        seed=seed,
+        trace=measurement.trace,
+    ).legacy_tuple()
     outcome = measured_pulse_trial(simulation, measurement)
     measured, steady = _skew_metrics(outcome)
     return {

@@ -130,12 +130,18 @@ class MeasurementSpec:
     allocated, which is a large share of simulator runtime.  Pulse
     outputs (and therefore every table) are identical across levels;
     set ``"full"`` only for a campaign whose builder inspects the trace.
+
+    ``backend`` selects the execution engine
+    (:data:`repro.build.BACKENDS`); ``"event"`` is the historical
+    default and is omitted from :meth:`as_dict` so that every
+    pre-existing case key and spec key hashes unchanged.
     """
 
     pulses: int = 10
     warmup: int = 2
     liveness: str = "tabulate"  # "tabulate" | "require"
     trace: str = "pulses"  # "none" | "pulses" | "full"
+    backend: str = "event"  # see repro.build.BACKENDS
 
     def __post_init__(self) -> None:
         if self.liveness not in ("tabulate", "require"):
@@ -148,14 +154,23 @@ class MeasurementSpec:
                 f"trace must be 'none', 'pulses', or 'full', "
                 f"got {self.trace!r}"
             )
+        from repro.build import resolve_backend
+
+        resolve_backend(self.backend)
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "pulses": self.pulses,
             "warmup": self.warmup,
             "liveness": self.liveness,
             "trace": self.trace,
         }
+        # Hash compatibility: the default backend stays implicit so
+        # that committed case/spec keys predating the facade are
+        # byte-identical.
+        if self.backend != "event":
+            payload["backend"] = self.backend
+        return payload
 
 
 @dataclass(frozen=True)

@@ -9,10 +9,12 @@ execution modes cover the catalog:
 ``cps``
     Pulse-synchronization scenarios (``cps``-tagged adversaries, every
     delay policy, drift profile, and topology).  The simulation is
-    assembled by the same registry-keyed builder the STRESS campaign
-    uses (:func:`~repro.campaigns.builders.build_registry_simulation`)
-    with the Theorem 17 / Lemma 11 monitors attached through the
-    scheduler's ``checks=`` hook.
+    assembled by the same registry-keyed facade the STRESS campaign
+    uses (:func:`repro.build.build_simulation`) with the Theorem 17 /
+    Lemma 11 monitors attached through the scheduler's ``checks=``
+    hook; ``backend=`` selects the event or vectorized engine, which is
+    how the cross-backend differential suite reuses this machinery as
+    its oracle.
 ``apa``
     Round-model adversaries (``apa``-tagged) run iterated approximate
     agreement and are judged by :class:`ApaContractionMonitor`
@@ -45,7 +47,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import theory
-from repro.campaigns.builders import build_registry_simulation
+from repro.build import build_simulation
 from repro.campaigns.spec import derive_seed
 from repro.checks.monitors import (
     ApaContractionMonitor,
@@ -243,16 +245,18 @@ def run_cps_conformance(
     pulses: int,
     seed: int,
     trace: Any = "pulses",
+    backend: str = "event",
 ) -> Tuple[List[MonitorVerdict], Any]:
     """Run one registry-keyed CPS case with monitors attached.
 
     Returns ``(verdicts, simulation_result)``; the result is surfaced
     so differential tests can compare pulse streams across trace
-    levels.
+    levels and across backends (the vectorized engine must produce a
+    verdict-identical monitor matrix).
     """
-    simulation, params, _f, _effective = build_registry_simulation(
-        case, seed, trace=trace
-    )
+    simulation, params, _f, _effective = build_simulation(
+        case, backend=backend, seed=seed, trace=trace
+    ).legacy_tuple()
     checks = cps_check_set(params, simulation.honest, pulses)
     simulation.attach_checks(checks)
     result = simulation.run(max_pulses=pulses)
@@ -287,9 +291,9 @@ def run_churn_conformance(
     Returns ``(verdicts, simulation_result)`` like
     :func:`run_cps_conformance`.
     """
-    simulation, params, _f, _effective = build_registry_simulation(
-        case, seed, trace=trace
-    )
+    simulation, params, _f, _effective = build_simulation(
+        case, seed=seed, trace=trace
+    ).legacy_tuple()
     checks = churn_check_set(simulation.dynamics.schedule, params)
     simulation.attach_checks(checks)
     result = simulation.run(max_pulses=pulses)
@@ -328,6 +332,7 @@ def check_scenario(
     seed: int = 0,
     trace: Any = "pulses",
     overrides: Optional[Dict[str, Any]] = None,
+    backend: str = "event",
 ) -> ScenarioReport:
     """Conformance-run one registry scenario and report per-monitor
     verdicts.
@@ -336,12 +341,22 @@ def check_scenario(
     from it deterministically.  ``overrides`` are forwarded to the
     scenario factory (the CLI's ``--param``).  Execution errors are
     tabulated (an errored scenario fails conformance but never aborts
-    a matrix sweep).
+    a matrix sweep).  ``backend`` selects the engine for ``cps``-mode
+    scenarios; the other modes are event-only, so a non-default
+    backend tabulates them as errors rather than silently falling
+    back.
     """
     scenario_seed = conformance_seed(seed, kind, key)
     mode = "cps"
     try:
         mode = scenario_mode(kind, key)
+        if mode != "cps" and backend != "event":
+            from repro.sim.vectorized import UnsupportedScenarioError
+
+            raise UnsupportedScenarioError(
+                f"backend {backend!r} does not support mode {mode!r} "
+                f"scenarios; use backend='event'"
+            )
         if mode == "apa":
             verdicts, _outcome = run_apa_conformance(
                 key, scenario_seed, overrides
@@ -368,7 +383,7 @@ def check_scenario(
             pulses = PULSES_BY_SCALE.get(scale, PULSES_BY_SCALE["quick"])
             case = scenario_case(kind, key, overrides)
             verdicts, _result = run_cps_conformance(
-                case, pulses, scenario_seed, trace=trace
+                case, pulses, scenario_seed, trace=trace, backend=backend
             )
         error = None
     except Exception as exc:  # noqa: BLE001 - sweeps tabulate failures
@@ -387,20 +402,28 @@ def conformance_matrix(
     scale: str = "quick",
     seed: int = 0,
     kinds: Optional[Sequence[str]] = None,
+    backend: str = "event",
 ) -> Dict[str, Any]:
     """Sweep every applicable registry scenario; JSON-ready verdicts.
 
     The payload is deterministic given ``seed`` (no timestamps or
     durations), so writing it twice with the same inputs produces
-    byte-identical files.
+    byte-identical files.  A non-default ``backend`` is recorded in
+    the payload; the default is omitted so the committed
+    ``results/conformance.json`` stays byte-identical to the
+    pre-facade format.
     """
     reports: List[ScenarioReport] = []
     for entry in REGISTRY.entries():
         if kinds is not None and entry.kind not in kinds:
             continue
-        reports.append(check_scenario(entry.kind, entry.key, scale, seed))
+        reports.append(
+            check_scenario(
+                entry.kind, entry.key, scale, seed, backend=backend
+            )
+        )
     failed = [report.qualified for report in reports if not report.ok]
-    return {
+    payload = {
         "scale": scale,
         "seed": seed,
         "monitors": list(MONITOR_CATALOG),
@@ -409,6 +432,9 @@ def conformance_matrix(
         "failed": failed,
         "pass": not failed,
     }
+    if backend != "event":
+        payload["backend"] = backend
+    return payload
 
 
 def matrix_payload_bytes(payload: Dict[str, Any]) -> bytes:

@@ -25,7 +25,7 @@ from typing import Any, List, Tuple
 from repro import scenarios
 from repro.checks.conformance import churn_check_set, cps_check_set
 from repro.checks.monitors import MonitorVerdict
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import derive_parameters
 from repro.dynamics import ChurnController, FaultEvent, FaultSchedule
 
@@ -47,7 +47,7 @@ def build_broken_simulation(seed: int = 2, trace: Any = "pulses"):
     """
     params = derive_parameters(BROKEN_THETA, BROKEN_D, BROKEN_U, BROKEN_N)
     faulty = list(range(BROKEN_N - params.f, BROKEN_N))
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         faulty=faulty,
         behavior=scenarios.create("adversary", "rushing-echo", None),
@@ -116,7 +116,7 @@ def build_churn_fixture(seed: int = 3, trace: Any = "pulses"):
         corruptions=1,
         description="crash with the promised recovery",
     )
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         faulty=executed.initially_corrupted(params.n),
         behavior=scenarios.create("adversary", "silent", params),

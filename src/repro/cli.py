@@ -104,6 +104,7 @@ from typing import List, Optional
 from repro import scenarios
 from repro.analysis import theory
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.build import UnknownBackendError, resolve_backend
 from repro.campaigns import (
     ExecutionPolicy,
     ResultStore,
@@ -248,6 +249,24 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
     if args.resume and not args.store:
         raise SystemExit("--resume requires --store")
     definition = _campaign_or_exit(args.campaign)
+    spec = definition.spec()
+    if args.backend is not None:
+        # Re-keying is deliberate: a backend override changes every
+        # case/spec hash, so cached event-backend trials are never
+        # replayed as vectorized ones (or vice versa).
+        from dataclasses import replace
+
+        backend = resolve_backend(args.backend)
+        if any(
+            m.backend != backend for m in spec.measurements.values()
+        ):
+            spec = replace(
+                spec,
+                measurements={
+                    scale: replace(m, backend=backend)
+                    for scale, m in spec.measurements.items()
+                },
+            )
     store = ResultStore(args.store) if args.store else None
     policy = ExecutionPolicy(
         workers=args.workers,
@@ -268,10 +287,10 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         from repro.telemetry.progress import ProgressReporter
 
         reporter = ProgressReporter(
-            label=f"{definition.spec().name}/{args.scale}"
+            label=f"{spec.name}/{args.scale}"
         )
     run = execute_campaign(
-        definition.spec(),
+        spec,
         scale=args.scale,
         policy=policy,
         store=store,
@@ -299,7 +318,7 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         )
         if store is not None:
             path = store.write_summary(
-                definition.spec().spec_key(args.scale), throughput
+                spec.spec_key(args.scale), throughput
             )
             print(f"wrote {path}")
     exit_code = 0 if run.failed == 0 else 1
@@ -313,7 +332,7 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         print(render_campaign_telemetry(payload))
         if store is not None:
             path = store.write_summary(
-                definition.spec().spec_key(args.scale),
+                spec.spec_key(args.scale),
                 payload,
                 kind="telemetry",
             )
@@ -335,11 +354,11 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
             render_campaign_conformance,
         )
 
-        payload = campaign_conformance(definition.spec(), args.scale)
+        payload = campaign_conformance(spec, args.scale)
         print(render_campaign_conformance(payload))
         if store is not None:
             path = store.write_summary(
-                definition.spec().spec_key(args.scale),
+                spec.spec_key(args.scale),
                 payload,
                 kind="check",
             )
@@ -405,10 +424,29 @@ DEFAULT_BASELINE = os.path.join("results", "perf_baseline.json")
 
 
 def _command_perf_list(_args: argparse.Namespace) -> int:
+    """List both perf JSON namespaces (docs/PERFORMANCE.md has detail).
+
+    * registered cases — ``perf run`` writes ``BENCH_<name>.json``
+      under ``results/perf`` (gitignored; compared via ``perf
+      baseline`` / ``perf compare``);
+    * campaign sidecars — ``campaign run NAME --perf --store DIR``
+      writes ``<spec_key>.perf.json`` next to the campaign's results
+      (spec-keyed, so every measurement knob change re-keys the file).
+    """
     from repro.perf import PERF_CASES
 
+    print(
+        "registered cases — `repro perf run` writes "
+        f"{DEFAULT_BENCH_DIR}/BENCH_<name>.json:"
+    )
     for name in sorted(PERF_CASES):
-        print(f"{name:<16} {PERF_CASES[name].description}")
+        print(f"  {name:<18} {PERF_CASES[name].description}")
+    print()
+    print(
+        "campaign sidecars — `repro campaign run NAME --perf "
+        "--store DIR` writes <spec_key>.perf.json in DIR (spec-keyed "
+        "per measurement, including its backend)."
+    )
     return 0
 
 
@@ -422,8 +460,18 @@ def _command_perf_run(args: argparse.Namespace) -> int:
             unknown[0], "perf case", available_cases()
         )
     scale = "quick" if args.quick else "full"
+    # Only resolve an explicit override: ``None`` must stay ``None`` so
+    # backend-aware case bodies keep their own defaults (e9-vectorized-*
+    # default to the vectorized engine).
+    backend = (
+        resolve_backend(args.backend)
+        if args.backend is not None
+        else None
+    )
     for name in names:
-        result = run_case(name, scale=scale, repeats=args.repeats)
+        result = run_case(
+            name, scale=scale, repeats=args.repeats, backend=backend
+        )
         path = result.write(args.out)
         normalized = result.normalized_throughput
         cache = result.meta.get("verify_cache") or {}
@@ -556,6 +604,7 @@ def _command_check_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         overrides=_parse_param_overrides(args.param),
+        backend=resolve_backend(args.backend),
     )
     if monitors is not None:
         from dataclasses import replace
@@ -574,13 +623,22 @@ def _command_check_matrix(args: argparse.Namespace) -> int:
     from repro.checks import conformance_matrix, render_matrix
 
     kinds = args.kind if args.kind else None
+    backend = resolve_backend(args.backend)
     payload = conformance_matrix(
-        scale=args.scale, seed=args.seed, kinds=kinds
+        scale=args.scale, seed=args.seed, kinds=kinds, backend=backend
     )
     print(render_matrix(payload))
     if args.out:
-        _write_conformance_json(args.out, payload)
-        print(f"wrote {args.out}")
+        if backend != "event" and args.out == DEFAULT_CONFORMANCE:
+            # The committed artifact is the event-backend matrix;
+            # don't let an exploratory vectorized sweep clobber it.
+            print(
+                f"not overwriting {DEFAULT_CONFORMANCE} with a "
+                f"{backend!r}-backend matrix (pass --out explicitly)"
+            )
+        else:
+            _write_conformance_json(args.out, payload)
+            print(f"wrote {args.out}")
     return 0 if payload["pass"] else 1
 
 
@@ -888,6 +946,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every simulation-executing subcommand: `campaign run`,
+    # `check run`, `check matrix`, and `perf run` accept the same
+    # --backend flag (validated with a did-you-mean by
+    # repro.build.resolve_backend).  Default None = "whatever the spec
+    # or engine defaults to", so campaign specs that pin a backend are
+    # not silently overridden.
+    backend_parent = argparse.ArgumentParser(add_help=False)
+    backend_parent.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend: 'event' (discrete-event reference) "
+        "or 'vectorized' (round-batched numpy engine)",
+    )
+
     sub.add_parser("list", help="list experiments").set_defaults(
         handler=_command_list
     )
@@ -940,7 +1011,8 @@ def build_parser() -> argparse.ArgumentParser:
     show_parser.set_defaults(handler=_command_campaign_show)
 
     campaign_run_parser = campaign_sub.add_parser(
-        "run", help="execute a campaign through the sweep engine"
+        "run", help="execute a campaign through the sweep engine",
+        parents=[backend_parent],
     )
     campaign_run_parser.add_argument("campaign", help="campaign id")
     campaign_run_parser.add_argument("--scale", default="quick")
@@ -1045,7 +1117,8 @@ def build_parser() -> argparse.ArgumentParser:
     ).set_defaults(handler=_command_check_list)
 
     check_run_parser = check_sub.add_parser(
-        "run", help="conformance-run one registry scenario"
+        "run", help="conformance-run one registry scenario",
+        parents=[backend_parent],
     )
     check_run_parser.add_argument(
         "key", help="scenario key, optionally qualified as kind:key"
@@ -1074,6 +1147,7 @@ def build_parser() -> argparse.ArgumentParser:
         "matrix",
         help="sweep every applicable registry scenario and render the "
         "scenario x monitor pass/fail matrix",
+        parents=[backend_parent],
     )
     check_matrix_parser.add_argument(
         "--scale", choices=("quick", "full"), default="quick"
@@ -1196,7 +1270,8 @@ def build_parser() -> argparse.ArgumentParser:
     ).set_defaults(handler=_command_perf_list)
 
     perf_run_parser = perf_sub.add_parser(
-        "run", help="measure perf cases and write BENCH_<name>.json"
+        "run", help="measure perf cases and write BENCH_<name>.json",
+        parents=[backend_parent],
     )
     perf_run_parser.add_argument(
         "--quick", action="store_true",
@@ -1332,6 +1407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except scenarios.UnknownScenarioError as exc:
         # KeyError wraps its message in repr; unwrap for a clean line.
         raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    except UnknownBackendError as exc:
+        raise SystemExit(str(exc)) from None
     except MalformedScheduleError as exc:
         raise SystemExit(f"malformed fault schedule: {exc}") from None
 

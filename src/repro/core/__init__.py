@@ -19,6 +19,7 @@ from repro.core.attacks import (
 from repro.core.cps import (
     CpsNode,
     CpsRoundSummary,
+    assemble_cps_simulation,
     build_cps_simulation,
     default_clocks,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "TcbMessage",
     "TcbState",
     "THETA_MAX",
+    "assemble_cps_simulation",
     "build_cps_simulation",
     "build_logical_clocks",
     "check_connectivity",

@@ -26,6 +26,7 @@ variant, and changing the dealer send offset.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -281,7 +282,7 @@ def default_clocks(
     return clocks
 
 
-def build_cps_simulation(
+def assemble_cps_simulation(
     params: ProtocolParameters,
     clocks: Optional[Sequence[HardwareClock]] = None,
     faulty: Sequence[int] = (),
@@ -295,7 +296,13 @@ def build_cps_simulation(
     dynamics=None,
     **node_kwargs: Any,
 ) -> Simulation:
-    """Wire a ready-to-run CPS simulation.
+    """Wire a ready-to-run event-engine CPS simulation.
+
+    This is the low-level assembly step: explicit clocks, behaviours,
+    and hooks, always on the event backend.  Registry-keyed
+    construction and backend selection live in
+    :func:`repro.build.build_simulation`, which most callers should
+    use instead.
 
     ``node_kwargs`` are forwarded to :class:`CpsNode` (ablation hooks).
     Initial clock offsets are validated against the ``H_v(0) in [0, S]``
@@ -324,3 +331,21 @@ def build_cps_simulation(
         checks=checks,
         dynamics=dynamics,
     )
+
+
+def build_cps_simulation(*args: Any, **kwargs: Any) -> Simulation:
+    """Deprecated alias of :func:`assemble_cps_simulation`.
+
+    Prefer :func:`repro.build.build_simulation` for registry-keyed
+    cases and backend selection, or :func:`assemble_cps_simulation`
+    for low-level wiring.  This shim forwards verbatim, so the
+    returned simulation is identical to the facade's event backend.
+    """
+    warnings.warn(
+        "build_cps_simulation is deprecated; use "
+        "repro.build.build_simulation(case, backend=...) or, for "
+        "low-level wiring, repro.core.cps.assemble_cps_simulation",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return assemble_cps_simulation(*args, **kwargs)

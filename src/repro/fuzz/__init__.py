@@ -18,7 +18,7 @@ content-hashed fixture and can be promoted into the scenario registry
     ``u_tilde >> u`` corner) used to sanity-gate the oracle.
 ``oracle``
     :func:`run_fuzz_case` — one synthesized case through
-    :func:`~repro.campaigns.builders.build_registry_simulation` with
+    :func:`repro.build.build_simulation` with
     the applicable check set attached; :func:`replay_fixture` and the
     byte-stable :func:`verdict_payload` for deterministic replay.
 ``corpus``

@@ -2,7 +2,7 @@
 
 A fuzz payload is runnable data — ``{"case", "pulses", "seed"}`` — and
 the oracle contract is exactly the conformance engine's: build the
-simulation with :func:`build_registry_simulation`, attach the
+simulation with :func:`repro.build.build_simulation`, attach the
 applicable check set through the scheduler's ``checks=`` hook (the
 churn stabilization monitor when the case names a fault schedule, the
 Theorem 17 / Lemma 11 set otherwise), run, and collect verdicts.  Any
@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
 from repro.analysis import metrics
-from repro.campaigns.builders import build_registry_simulation
+from repro.build import build_simulation
 from repro.checks.conformance import (
     FUZZ_EXPECTATION_CLAIM,
     FUZZ_EXPECTATION_MONITOR,
@@ -60,9 +60,9 @@ def run_fuzz_case(
     trace: Any = "pulses",
 ) -> FuzzRun:
     """Execute one registry-keyed case with its monitors attached."""
-    simulation, params, _f, _effective = build_registry_simulation(
-        case, seed, trace=trace
-    )
+    simulation, params, _f, _effective = build_simulation(
+        case, seed=seed, trace=trace
+    ).legacy_tuple()
     mode = "churn" if "churn" in case else "cps"
     if mode == "churn":
         checks = churn_check_set(simulation.dynamics.schedule, params)

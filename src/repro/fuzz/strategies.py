@@ -2,7 +2,7 @@
 
 Every strategy draws a complete *fuzz payload* — a plain dict
 ``{"case": ..., "pulses": ..., "seed": ...}`` whose ``case`` follows
-:func:`~repro.campaigns.builders.build_registry_simulation`
+:func:`repro.build.build_simulation`
 conventions — so a drawn example is exactly what the campaign engine
 already knows how to run, hash, and cache.
 

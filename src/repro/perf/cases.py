@@ -51,7 +51,10 @@ def available_cases() -> List[str]:
 
 
 def run_case(
-    name: str, scale: str = "quick", repeats: int = 3
+    name: str,
+    scale: str = "quick",
+    repeats: int = 3,
+    backend: Optional[str] = None,
 ) -> BenchResult:
     """Measure one case: best-of-``repeats`` wall time, summed events.
 
@@ -60,17 +63,47 @@ def run_case(
     The signature-verification memo's hit/miss delta across the measured
     repeats is reported as ``meta["verify_cache"]`` (warm-cache steady
     state, since the warmup run primes the memo).
+
+    ``backend`` (when given) is forwarded to case bodies that declare a
+    ``backend`` parameter — the backend-aware cases, e.g.
+    ``e9-vectorized-*``, whose bodies carry their own default backend.
+    An override against a body without one is an error rather than a
+    silently ignored flag; ``None`` leaves every body's default alone.
     """
+    import inspect
+
+    from repro.build import resolve_backend
     from repro.crypto.signatures import verify_cache_stats
+    from repro.sim.errors import ConfigurationError
 
     case = PERF_CASES[name]
-    case.body(scale)  # warmup, unmeasured
+    accepts_backend = (
+        "backend" in inspect.signature(case.body).parameters
+    )
+    if backend is not None:
+        backend = resolve_backend(backend)
+        if not accepts_backend:
+            aware = [
+                key
+                for key in available_cases()
+                if "backend" in inspect.signature(
+                    PERF_CASES[key].body
+                ).parameters
+            ]
+            raise ConfigurationError(
+                f"perf case {name!r} does not take a backend "
+                f"override; backend-aware cases: {aware}"
+            )
+    kwargs = {"backend": backend} if (
+        accepts_backend and backend is not None
+    ) else {}
+    case.body(scale, **kwargs)  # warmup, unmeasured
     cache_before = verify_cache_stats()
     best: Tuple[float, int, Dict[str, object]] = (float("inf"), 0, {})
     for _ in range(max(repeats, 1)):
         probe = PerfProbe(calibrate=False)
         with probe:
-            events, meta = case.body(scale)
+            events, meta = case.body(scale, **kwargs)
             probe.add_events(events)
         if probe.wall_seconds < best[0]:
             best = (probe.wall_seconds, probe.events, meta)
@@ -121,7 +154,7 @@ def _e5_stress(scale: str) -> Tuple[int, Dict[str, object]]:
         derive_lw_parameters,
     )
     from repro.campaigns.builders import _extreme_clocks, cps_group_a
-    from repro.core.cps import build_cps_simulation
+    from repro.core.cps import assemble_cps_simulation
     from repro.core.params import derive_parameters, max_faults
 
     n, theta, d, u, seed = 9, 1.001, 1.0, 0.02, 5
@@ -140,7 +173,7 @@ def _e5_stress(scale: str) -> Tuple[int, Dict[str, object]]:
                         if f
                         else None
                     )
-                    simulation = build_cps_simulation(
+                    simulation = assemble_cps_simulation(
                         params,
                         clocks=_extreme_clocks(params, n, theta),
                         faulty=faulty,
@@ -178,14 +211,14 @@ def _e5_stress(scale: str) -> Tuple[int, Dict[str, object]]:
 def _cps_full_trace(scale: str) -> Tuple[int, Dict[str, object]]:
     from repro import scenarios
     from repro.analysis.runner import run_pulse_trial
-    from repro.core.cps import build_cps_simulation
+    from repro.core.cps import assemble_cps_simulation
     from repro.core.params import derive_parameters
 
     n = 9 if scale == "quick" else 13
     pulses = 25 if scale == "quick" else 50
     params = derive_parameters(1.001, 1.0, 0.02, n)
     faulty = list(range(n - params.f, n))
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         faulty=faulty,
         behavior=scenarios.create("adversary", "mimic-split", params),
@@ -227,7 +260,7 @@ def _telemetry_overhead(scale: str) -> Tuple[int, Dict[str, object]]:
     from repro import scenarios
     from repro.analysis.runner import run_pulse_trial
     from repro.campaigns.builders import _extreme_clocks
-    from repro.core.cps import build_cps_simulation
+    from repro.core.cps import assemble_cps_simulation
     from repro.core.params import derive_parameters, max_faults
     from repro.telemetry import Telemetry, telemetry_session
 
@@ -236,7 +269,7 @@ def _telemetry_overhead(scale: str) -> Tuple[int, Dict[str, object]]:
     params = derive_parameters(theta, d, u, n, f=max_faults(n))
 
     def build():  # one fresh instrumentable system per measurement
-        return build_cps_simulation(
+        return assemble_cps_simulation(
             params,
             clocks=_extreme_clocks(params, n, theta),
             faulty=list(range(n - params.f, n)),
@@ -283,6 +316,64 @@ def _telemetry_overhead(scale: str) -> Tuple[int, Dict[str, object]]:
             if name.startswith("events.dispatched.")
         ),
     }
+
+
+def _e9_scale_point(
+    n: int, scale: str, backend: str
+) -> Tuple[int, Dict[str, object]]:
+    """One E9-SCALE grid point: silent-adversary CPS at scale ``n``.
+
+    The same registry case the E9-SCALE campaign sweeps; ``events`` are
+    the *modeled* events (what the event engine would have dispatched),
+    so events/sec across backends measures simulated-work throughput —
+    the number the scale study exists to compare.
+    """
+    from repro.analysis.runner import run_pulse_trial
+    from repro.build import build_simulation
+
+    case = {
+        "n": n,
+        "theta": 1.001,
+        "d": 1.0,
+        "u": 0.01,
+        "adversary": "silent",
+        "delay": "maximum",
+        "drift": "extreme",
+    }
+    pulses = 5 if scale == "quick" else 8
+    built = build_simulation(case, backend=backend, seed=7, trace="none")
+    outcome = run_pulse_trial(built.simulation, pulses, warmup=2)
+    assert outcome.result is not None, outcome.error
+    assert outcome.report is not None, "scale point must stay live"
+    return outcome.result.events_processed, {
+        "n": n,
+        "pulses": pulses,
+        "backend": backend,
+        "max_skew": round(outcome.report.max_skew, 9),
+        "bound_S": round(built.params.S, 9),
+    }
+
+
+@register_case(
+    "e9-vectorized-1k",
+    "E9-SCALE point at n=1,000 on the vectorized backend (silent "
+    "adversary, maximum delays, extreme drift)",
+)
+def _e9_vectorized_1k(
+    scale: str, backend: str = "vectorized"
+) -> Tuple[int, Dict[str, object]]:
+    return _e9_scale_point(1000, scale, backend)
+
+
+@register_case(
+    "e9-vectorized-10k",
+    "E9-SCALE point at n=10,000 on the vectorized backend — the "
+    "regime the round-batched engine exists for",
+)
+def _e9_vectorized_10k(
+    scale: str, backend: str = "vectorized"
+) -> Tuple[int, Dict[str, object]]:
+    return _e9_scale_point(10000, scale, backend)
 
 
 @register_case(

@@ -8,7 +8,7 @@ start-up: initial offsets ``H_v(0) in [0, S]`` and rates in
 ``[1, theta]``.
 
 ``random`` and ``extreme`` are the two ensembles the pre-registry code
-selected via ``build_cps_simulation(clock_style=...)``; ``mixed`` and
+selected via ``assemble_cps_simulation(clock_style=...)``; ``mixed`` and
 ``staggered`` are stress ensembles that combine stable, fast, and
 wandering hardware in one system.
 """

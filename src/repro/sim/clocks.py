@@ -135,6 +135,15 @@ class HardwareClock:
         """``H(0)``, the initial clock reading."""
         return self._local_starts[0]
 
+    def segments(self) -> List[ClockSegment]:
+        """The linear pieces, in order (a copy; clocks are immutable).
+
+        Consumers that batch-evaluate clocks — the vectorized backend
+        turns these into numpy arrays — read the piecewise form through
+        this accessor instead of re-deriving it by sampling.
+        """
+        return list(self._segments)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"HardwareClock({len(self._segments)} segments)"
 

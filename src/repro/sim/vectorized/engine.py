@@ -1,0 +1,446 @@
+"""The round-batched CPS engine.
+
+One iteration of the main loop advances *every* honest node through one
+full CPS round with array operations:
+
+1. pulse — evaluate each node's next pulse (real, local) time;
+2. broadcast — each honest dealer's ``<r>_v`` leaves at local
+   ``H_v(p^r_v) + theta S``; a per-round delay matrix
+   (:mod:`repro.sim.vectorized.delays`) gives every arrival time;
+3. accept — the TCB window test ``P < h <= P + window`` as a boolean
+   mask over (receiver, dealer) pairs;
+4. vote — offset estimates ``h - P - d + u - S`` where accepted (⊥
+   elsewhere, 0 for self), sorted per receiver, the ``f - b`` discard
+   applied by index arithmetic, midpoint taken;
+5. advance — next pulse at local ``P + Delta + T``.
+
+This is exact — not approximate — for the scenarios the backend
+accepts: with silent faulty nodes and admissible honest-link delays,
+Lemma 10 puts every honest dealer's message inside every honest
+receiver's round-``r`` window, the event engine's early/stale-message
+guards reduce to the same ``P < h <= P + window`` comparison, and echo
+rejection provably never fires, so simulating echoes (and per-message
+event interleavings generally) cannot change any output.  Scenarios
+where that argument breaks — actively Byzantine behaviours, membership
+churn — raise :class:`UnsupportedScenarioError` instead of silently
+degrading.
+
+Memory is bounded by processing receivers in blocks of ``block_size``
+rows (block × n arrays, never n × n), which is what lets n = 10,000
+runs fit comfortably in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+try:  # gated dependency: the event engine must work without numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+from repro.core.cps import CpsRoundSummary
+from repro.core.params import ProtocolParameters
+from repro.sim.clocks import EPS, HardwareClock, validate_initial_skew
+from repro.sim.errors import ConfigurationError, SimulationError
+from repro.sim.network import (
+    DelayPolicy,
+    MaximumDelayPolicy,
+    NetworkConfig,
+    RandomDelayPolicy,
+)
+from repro.sim.scheduler import SimulationResult
+from repro.sim.trace import Trace, TraceLevel, TraceSpec
+from repro.sim.vectorized.delays import delay_matrix, delay_rng
+from repro.sync.crusader import BOT
+
+
+class UnsupportedScenarioError(ConfigurationError):
+    """The vectorized backend cannot run this scenario faithfully.
+
+    Raised at build time (never mid-run) so campaign plans fail fast;
+    the message names the unsupported feature and the escape hatch
+    (``backend="event"``).
+    """
+
+
+def require_numpy() -> None:
+    """Fail with an actionable message when numpy is absent.
+
+    The core package deliberately keeps ``networkx`` as its only hard
+    dependency; the vectorized backend is the one numpy consumer and
+    gates on it here instead of at import time.
+    """
+    if np is None:
+        raise ConfigurationError(
+            "the vectorized backend needs numpy "
+            "(pip install numpy, or use backend='event')"
+        )
+
+
+class _VectorClock:
+    """A hardware clock's segments as arrays, for batched evaluation."""
+
+    __slots__ = ("starts", "locals", "rates", "constant")
+
+    def __init__(self, clock: HardwareClock) -> None:
+        segments = clock.segments()
+        self.starts = np.array([s.t_start for s in segments])
+        self.locals = np.array([s.local_start for s in segments])
+        self.rates = np.array([s.rate for s in segments])
+        self.constant = len(segments) == 1
+
+    def local_times(self, t: "np.ndarray") -> "np.ndarray":
+        """Vectorized ``H(t)`` over an array of real times."""
+        if self.constant:
+            return self.locals[0] + self.rates[0] * (t - self.starts[0])
+        index = np.searchsorted(self.starts, t, side="right") - 1
+        np.clip(index, 0, None, out=index)
+        return self.locals[index] + self.rates[index] * (
+            t - self.starts[index]
+        )
+
+
+class VectorizedSimulation:
+    """Array-batched CPS execution with the event engine's surface.
+
+    Accepts the assembly-level inputs of
+    :func:`repro.core.cps.assemble_cps_simulation` (parameters, clocks,
+    faulty set, delay policy, trace spec, checks) and produces a
+    :class:`~repro.sim.scheduler.SimulationResult`; ``run`` /
+    ``attach_checks`` / ``honest`` match the scheduler's surface, so
+    :func:`~repro.analysis.runner.run_pulse_trial`, the conformance
+    monitors, and the campaign builders are backend-agnostic.
+
+    Faulty nodes are *silent*: they never pulse, never send, and each
+    contributes one ⊥ to every honest node's vote — exactly the
+    ``silent`` registry adversary.  Anything else is rejected by the
+    facade before construction.
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        clocks: Sequence[HardwareClock],
+        faulty: Sequence[int] = (),
+        delay_policy: Optional[DelayPolicy] = None,
+        u_tilde: Optional[float] = None,
+        seed: int = 0,
+        trace: TraceSpec = "pulses",
+        checks: Any = None,
+        block_size: int = 1024,
+    ) -> None:
+        require_numpy()
+        if len(clocks) != params.n:
+            raise ConfigurationError(
+                f"need {params.n} clocks, got {len(clocks)}"
+            )
+        if block_size < 1:
+            raise ConfigurationError("block_size must be >= 1")
+        # u_tilde only weakens links with a faulty endpoint; silent
+        # faulty nodes never use their links, so it cannot affect any
+        # vectorized execution — it is accepted (and validated) for
+        # facade parity, nothing more.
+        self.config = NetworkConfig(params.n, params.d, params.u, u_tilde)
+        self.params = params
+        self.f = params.f
+        self.clocks = list(clocks)
+        faulty_set = set(faulty)
+        self.faulty = sorted(faulty_set)
+        self.honest = [v for v in range(params.n) if v not in faulty_set]
+        if not self.honest:
+            raise ConfigurationError("no honest nodes")
+        self.delay_policy = delay_policy or MaximumDelayPolicy()
+        self.seed = seed
+        self.trace = Trace.from_spec(trace)
+        self.checks = checks
+        #: Surface parity with the scheduler: the vectorized backend
+        #: never carries membership dynamics (the facade rejects churn).
+        self.dynamics = None
+        self.block_size = block_size
+        self.warnings: List[str] = []
+        validate_initial_skew(
+            [self.clocks[v] for v in self.honest], params.S
+        )
+
+    # ------------------------------------------------------------------
+
+    def attach_checks(self, checks: Any) -> None:
+        """Install (or clear) the streaming conformance observer."""
+        self.checks = checks
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_pulses: Optional[int] = None,
+    ) -> SimulationResult:
+        """Execute whole pulse rounds until a stop condition.
+
+        ``max_pulses`` counts rounds (every honest node pulses once per
+        round).  ``until`` stops before the first round whose pulses
+        are not all within the horizon — pulses beyond ``until`` are
+        never recorded, but the cutoff is per *round*, not per event
+        (the batching granularity of this backend).
+        """
+        if max_pulses is None and until is None:
+            raise ConfigurationError(
+                "vectorized runs need max_pulses and/or until"
+            )
+        params = self.params
+        honest = self.honest
+        nh = len(honest)
+        n = params.n
+        observing = self.checks is not None or (
+            self.trace.level >= TraceLevel.FULL
+        )
+        vclocks = [_VectorClock(self.clocks[v]) for v in honest]
+        rng = (
+            delay_rng(self.delay_policy)
+            if isinstance(self.delay_policy, RandomDelayPolicy)
+            else None
+        )
+        window = params.tcb_window
+        fin_wait = params.tcb_finalize_wait
+        offset_shift = params.d - params.u + params.S
+        pulses: Dict[int, List[float]] = {v: [] for v in range(n)}
+        events = 0
+        end_time = 0.0
+        # Next-pulse local targets; Figure 3 starts at local time S.
+        local = np.full(nh, params.S)
+        pulse_round = 0
+        while max_pulses is None or pulse_round < max_pulses:
+            pulse_round += 1
+            pulse_real = np.array(
+                [
+                    self.clocks[v].real_time(local[i])
+                    for i, v in enumerate(honest)
+                ]
+            )
+            if until is not None:
+                inside = pulse_real <= until + EPS
+                if not inside.all():
+                    for i in np.argsort(pulse_real, kind="stable"):
+                        if inside[i]:
+                            self._emit_pulse(
+                                pulses, float(pulse_real[i]), honest[i],
+                                pulse_round, float(local[i]),
+                            )
+                            events += 1
+                    end_time = until
+                    break
+            order = np.argsort(pulse_real, kind="stable")
+            for i in order:
+                self._emit_pulse(
+                    pulses, float(pulse_real[i]), honest[i],
+                    pulse_round, float(local[i]),
+                )
+            if max_pulses is not None and pulse_round >= max_pulses:
+                # The event engine halts the instant the slowest node
+                # emits its quota-filling pulse, so the final round's
+                # broadcasts, votes, and summaries never happen — match
+                # that exactly (the TCB-consistency monitor's `checked`
+                # count is sensitive to it).
+                events += nh
+                end_time = max(end_time, float(pulse_real.max()))
+                break
+            send_real = np.array(
+                [
+                    self.clocks[v].real_time(
+                        local[i] + params.dealer_send_offset
+                    )
+                    for i, v in enumerate(honest)
+                ]
+            )
+            correction = np.empty(nh)
+            completion_local = np.empty(nh)
+            accepted_total = 0
+            accepts: List[Any] = []
+            summaries: List[Any] = []
+            for start in range(0, nh, self.block_size):
+                stop = min(start + self.block_size, nh)
+                rows = np.arange(start, stop)
+                receivers = honest[start:stop]
+                delays = delay_matrix(
+                    self.delay_policy, self.config, honest, receivers,
+                    send_real, rng,
+                )
+                arrival = send_real[None, :] + delays
+                local_rx = np.empty_like(arrival)
+                for i, row in enumerate(rows):
+                    local_rx[i] = vclocks[row].local_times(arrival[i])
+                base = local[rows][:, None]
+                accept = (local_rx > base) & (
+                    local_rx <= base + window + EPS
+                )
+                accept[np.arange(len(rows)), rows] = False
+                estimates = np.where(
+                    accept, local_rx - base - offset_shift, np.nan
+                )
+                estimates[np.arange(len(rows)), rows] = 0.0
+                counts = 1 + accept.sum(axis=1)
+                num_bot = n - counts
+                discard = np.maximum(params.f - num_bot, 0)
+                if np.any(counts <= 2 * discard):
+                    bad = int(np.argmax(counts <= 2 * discard))
+                    raise SimulationError(
+                        f"need more than {2 * int(discard[bad])} non-bot "
+                        f"estimates at node {receivers[bad]}, got "
+                        f"{int(counts[bad])}"
+                    )
+                ordered = np.sort(estimates, axis=1)
+                row_index = np.arange(len(rows))
+                low = ordered[row_index, discard]
+                high = ordered[row_index, counts - 1 - discard]
+                correction[rows] = (low + high) / 2.0
+                finalize = np.where(
+                    accept, local_rx + fin_wait, -np.inf
+                )
+                latest = finalize.max(axis=1)
+                window_close = local[rows] + window + 2.0 * EPS
+                completion_local[rows] = np.where(
+                    num_bot > 0,
+                    np.maximum(latest, window_close),
+                    latest,
+                )
+                accepted_total += int(accept.sum())
+                if observing:
+                    self._collect_round(
+                        accepts, summaries, rows, receivers, accept,
+                        arrival, estimates, counts, low, high,
+                        correction, pulse_round, local,
+                    )
+            completion_real = np.array(
+                [
+                    self.clocks[v].real_time(completion_local[i])
+                    for i, v in enumerate(honest)
+                ]
+            )
+            end_time = max(end_time, float(completion_real.max()))
+            if observing:
+                self._emit_round(
+                    accepts, summaries, completion_real, honest
+                )
+            # One modeled event per pulse, per delivered broadcast copy
+            # (each dealer reaches all n-1 others), per echo fan-out of
+            # an acceptance, and per timer the event engine would fire.
+            events += (
+                nh * (n - 1)
+                + accepted_total * (n - 1)
+                + 3 * nh
+                + accepted_total
+            )
+            local = local + correction + params.T
+        return SimulationResult(
+            pulses=pulses,
+            honest=list(honest),
+            trace=self.trace,
+            warnings=list(self.warnings),
+            events_processed=events,
+            end_time=end_time,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _emit_pulse(
+        self,
+        pulses: Dict[int, List[float]],
+        time: float,
+        node: int,
+        index: int,
+        local_time: float,
+    ) -> None:
+        pulses[node].append(time)
+        self.trace.pulse(
+            time=time, node=node, index=index, local_time=local_time
+        )
+        if self.checks is not None:
+            self.checks.on_pulse(time, node, index, local_time)
+
+    def _collect_round(
+        self,
+        accepts: List[Any],
+        summaries: List[Any],
+        rows: "np.ndarray",
+        receivers: Sequence[int],
+        accept: "np.ndarray",
+        arrival: "np.ndarray",
+        estimates: "np.ndarray",
+        counts: "np.ndarray",
+        low: "np.ndarray",
+        high: "np.ndarray",
+        correction: "np.ndarray",
+        pulse_round: int,
+        local: "np.ndarray",
+    ) -> None:
+        """Materialize per-node annotations (small-n observation path).
+
+        Only runs when checks or a FULL trace are attached — the
+        O(n^2) Python-object cost would dominate large-scale runs, and
+        those run unobserved by construction.
+        """
+        honest = self.honest
+        for i, node in enumerate(receivers):
+            row_estimates: Dict[int, Any] = {}
+            for j, dealer in enumerate(honest):
+                if dealer == node:
+                    row_estimates[node] = 0.0
+                elif accept[i, j]:
+                    row_estimates[dealer] = float(estimates[i, j])
+                    accepts.append(
+                        (
+                            float(arrival[i, j]),
+                            node,
+                            (pulse_round, dealer),
+                        )
+                    )
+                else:
+                    row_estimates[dealer] = BOT
+            for dealer in self.faulty:
+                row_estimates[dealer] = BOT
+            summaries.append(
+                (
+                    int(rows[i]),
+                    CpsRoundSummary(
+                        pulse_round=pulse_round,
+                        pulse_local=float(local[rows[i]]),
+                        estimates=row_estimates,
+                        num_bot=int(self.params.n - counts[i]),
+                        interval=(float(low[i]), float(high[i])),
+                        correction=float(correction[rows[i]]),
+                    ),
+                )
+            )
+
+    def _emit_round(
+        self,
+        accepts: List[Any],
+        summaries: List[Any],
+        completion_real: "np.ndarray",
+        honest: Sequence[int],
+    ) -> None:
+        """Feed one round's annotations in scheduler-like order:
+        acceptances (by arrival time) strictly before round summaries
+        (by completion time) — the order the monitors rely on."""
+        for time, node, details in sorted(
+            accepts, key=lambda item: (item[0], item[1])
+        ):
+            self._annotate(time, node, "tcb-accept", details)
+        timed = [
+            (float(completion_real[index]), honest[index], summary)
+            for index, summary in summaries
+        ]
+        for time, node, summary in sorted(
+            timed, key=lambda item: (item[0], item[1])
+        ):
+            self._annotate(time, node, "cps-round", summary)
+
+    def _annotate(
+        self, time: float, node: int, kind: str, details: Any
+    ) -> None:
+        self.trace.protocol(
+            time=time, node=node, kind=kind, details=details
+        )
+        if self.checks is not None:
+            self.checks.on_annotate(time, node, kind, details)

@@ -203,11 +203,11 @@ class TestTheory:
 
 class TestRunner:
     def test_captures_protocol_errors(self):
-        from repro.core.cps import build_cps_simulation
+        from repro.core.cps import assemble_cps_simulation
         from repro.sim.adversary import SilentAdversary
 
         params = derive_parameters(1.001, 1.0, 0.02, 6)
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params,
             faulty=[3, 4],
             behavior=SilentAdversary(),
@@ -219,10 +219,10 @@ class TestRunner:
         assert outcome.report is None
 
     def test_successful_trial(self):
-        from repro.core.cps import build_cps_simulation
+        from repro.core.cps import assemble_cps_simulation
 
         params = derive_parameters(1.001, 1.0, 0.02, 6)
-        outcome = run_pulse_trial(build_cps_simulation(params), 5)
+        outcome = run_pulse_trial(assemble_cps_simulation(params), 5)
         assert outcome.live
         assert outcome.report is not None
         assert outcome.report.pulses == 5

@@ -9,7 +9,7 @@ from repro.core.attacks import (
     FastToFaultyDelayPolicy,
     cps_attack_catalog,
 )
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.messages import TcbMessage, tcb_tag
 from repro.core.params import derive_parameters
 from repro.sim.adversary import HonestUntilCrash, adversary_catalog
@@ -61,7 +61,7 @@ class TestCatalogs:
 class TestMimicAttack:
     def test_faulty_dealers_split_groups(self, params):
         group_a = [0, 2]
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params,
             faulty=faulty_of(params),
             behavior=CpsMimicDealerAttack(params, group_a),
@@ -93,7 +93,7 @@ class TestMimicAttack:
     def test_spread_fraction_validated_by_model(self, params):
         # A spread fraction of 1.0 still produces admissible delays.
         attack = CpsMimicDealerAttack(params, [0], spread_fraction=1.0)
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params, faulty=faulty_of(params), behavior=attack, seed=1
         )
         simulation.run(max_pulses=4)  # must not raise ModelViolation
@@ -101,7 +101,7 @@ class TestMimicAttack:
 
 class TestEquivocatingSubset:
     def test_half_get_value_half_get_bot(self, params):
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params,
             faulty=faulty_of(params),
             behavior=CpsEquivocatingSubsetAttack(params),
@@ -124,7 +124,7 @@ class TestEquivocatingSubset:
 class TestRushingEcho:
     def test_targets_only_selected_dealers(self, params):
         attack = CpsRushingEchoAttack(target_dealers={0})
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params,
             faulty=faulty_of(params),
             behavior=attack,
@@ -159,7 +159,7 @@ class TestCrashFaults:
         behavior = HonestUntilCrash(
             lambda v: CpsNode(params), crash_times=crash_times
         )
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params, faulty=[4, 5], behavior=behavior, seed=3
         )
         result = simulation.run(max_pulses=10)

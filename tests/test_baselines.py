@@ -100,12 +100,12 @@ class TestLynchWelch:
 
     def test_contrast_cps_survives_same_setting(self):
         from repro.core.attacks import CpsMimicDealerAttack
-        from repro.core.cps import build_cps_simulation
+        from repro.core.cps import assemble_cps_simulation
         from repro.core.params import derive_parameters
 
         n, f = 9, 4
         params = derive_parameters(1.001, 1.0, 0.02, n, f=f)
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params,
             clocks=extreme_clocks(n, params.theta, params.S),
             faulty=list(range(n - f, n)),

@@ -39,7 +39,7 @@ from repro.campaigns.aggregate import (
     summary_stats,
     value_of,
 )
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import derive_parameters
 
 
@@ -619,7 +619,7 @@ class TestCampaignPorts:
 
 def _build_tiny_cps(n=4, seed=0):
     params = derive_parameters(1.001, 1.0, 0.01, n)
-    return build_cps_simulation(params, seed=seed)
+    return assemble_cps_simulation(params, seed=seed)
 
 
 class TestSweepShim:

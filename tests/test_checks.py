@@ -34,7 +34,7 @@ from repro.checks import (
     scenario_mode,
 )
 from repro.cli import main
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import derive_parameters
 from repro.scenarios import REGISTRY
 from repro.sim.adversary import SilentAdversary
@@ -257,7 +257,7 @@ class TestChecksHook:
     def _build(self, checks=None, trace="pulses"):
         params = derive_parameters(1.001, 1.0, 0.02, 6)
         faulty = list(range(6 - params.f, 6))
-        return build_cps_simulation(
+        return assemble_cps_simulation(
             params,
             faulty=faulty,
             behavior=SilentAdversary(),

@@ -15,7 +15,7 @@ from repro.core.attacks import (
     CpsRushingEchoAttack,
     FastToFaultyDelayPolicy,
 )
-from repro.core.cps import CpsNode, build_cps_simulation, default_clocks
+from repro.core.cps import CpsNode, assemble_cps_simulation, default_clocks
 from repro.core.params import derive_parameters
 from repro.sim.adversary import ReplayAdversary, SilentAdversary
 from repro.sim.clocks import HardwareClock
@@ -31,7 +31,7 @@ PULSES = 12
 
 
 def run_cps(params, pulses=PULSES, **kwargs):
-    simulation = build_cps_simulation(params, **kwargs)
+    simulation = assemble_cps_simulation(params, **kwargs)
     result = simulation.run(max_pulses=pulses)
     return simulation, result
 
@@ -243,7 +243,7 @@ class TestAblationsAndConfig:
 
     def test_discard_f_rule_fails_at_max_resilience(self, params6):
         faulty = list(range(6 - params6.f, 6))
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params6,
             faulty=faulty,
             behavior=SilentAdversary(),
@@ -264,7 +264,7 @@ class TestAblationsAndConfig:
             for v in range(6)
         ]
         with pytest.raises(ClockError):
-            build_cps_simulation(params6, clocks=clocks)
+            assemble_cps_simulation(params6, clocks=clocks)
 
     def test_default_clock_styles(self, params6):
         assert len(default_clocks(params6, style="random")) == 6

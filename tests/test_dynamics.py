@@ -13,7 +13,7 @@ from repro.campaigns import (
     campaign_definition,
     execute_campaign,
 )
-from repro.campaigns.builders import build_registry_simulation
+from repro.build import build_simulation
 from repro.checks import (
     CHURN_MONITORS,
     MONITOR_CATALOG,
@@ -23,7 +23,7 @@ from repro.checks import (
     run_churn_fixture,
     scenario_mode,
 )
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import derive_parameters
 from repro.dynamics import (
     ChurnController,
@@ -61,7 +61,7 @@ def _crash_recover_schedule():
 def _run(schedule, pulses=14, seed=0, n=6, trace="pulses"):
     params = _params(n=n)
     controller = ChurnController(schedule, params)
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         faulty=schedule.initially_corrupted(n),
         seed=seed,
@@ -294,7 +294,7 @@ class TestInjection:
         params = _params()
         schedule = _crash_recover_schedule()  # expects faulty == {5}
         with pytest.raises(MalformedScheduleError, match="corrupted"):
-            build_cps_simulation(
+            assemble_cps_simulation(
                 params,
                 faulty=[4, 5],
                 seed=0,
@@ -306,7 +306,7 @@ class TestInjection:
         # Corrupting beyond f at runtime is refused by the scheduler
         # even if a hand-rolled hook tries it.
         params = _params()
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params, faulty=[4, 5], seed=0, clock_style="extreme"
         )
         with pytest.raises(SimulationError, match="budget"):
@@ -490,19 +490,19 @@ class TestZeroCostWhenUnused:
             "delay": "maximum",
             "drift": "extreme",
         }
-        simulation, _params, _f, _eff = build_registry_simulation(case, 3)
+        simulation, _params, _f, _eff = build_simulation(case, seed=3).legacy_tuple()
         assert simulation.dynamics is None
 
     def test_empty_schedule_is_inert(self):
         params = _params()
-        base = build_cps_simulation(
+        base = assemble_cps_simulation(
             params, faulty=[4, 5], seed=1, clock_style="extreme"
         )
         base_result = base.run(max_pulses=8)
         controller = ChurnController(
             FaultSchedule(corruptions=2), params
         )
-        churned = build_cps_simulation(
+        churned = assemble_cps_simulation(
             params,
             faulty=[4, 5],
             seed=1,

@@ -20,6 +20,7 @@ class TestRegistry:
         assert set(tables) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
             "A1", "A2", "A3", "STRESS", "CHURN-STRESS", "FUZZ",
+            "E9-SCALE",
         }
 
     def test_unknown_experiment_rejected(self):
@@ -131,6 +132,14 @@ class TestClaims:
         rows = {row[0]: row for row in table.rows}
         assert rows["f-b"][2] == "ok"
         assert rows["f"][2] != "ok"
+
+    def test_e9_scale_bound_holds_at_all_sizes(self, tables):
+        table = tables["E9-SCALE"]
+        assert sorted(table.column("n")) == [100, 1000, 10000]
+        assert all(table.column("within"))
+        assert all(table.column("live"))
+        # S is n-independent: every row reports the same bound.
+        assert len(set(table.column("bound S"))) == 1
 
     def test_fuzz_shards_end_as_their_space_predicts(self, tables):
         table = tables["FUZZ"]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.logical_clock import (
     LogicalClock,
     build_logical_clocks,
@@ -73,7 +73,7 @@ class TestSynchronizer:
 
     def test_round_separation_on_real_cps_run(self):
         params = derive_parameters(1.001, 1.0, 0.02, 6)
-        simulation = build_cps_simulation(params, seed=11)
+        simulation = assemble_cps_simulation(params, seed=11)
         result = simulation.run(max_pulses=8)
         schedule = verify_round_separation(
             result.honest_pulses(), params.d
@@ -84,7 +84,7 @@ class TestSynchronizer:
 
     def test_round_overhead_close_to_nominal(self):
         params = derive_parameters(1.001, 1.0, 0.01, 6)
-        simulation = build_cps_simulation(params, seed=11)
+        simulation = assemble_cps_simulation(params, seed=11)
         result = simulation.run(max_pulses=8)
         overhead = synchronous_round_overhead(
             result.honest_pulses(), params.d

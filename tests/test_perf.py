@@ -8,7 +8,7 @@ import pytest
 
 from repro import scenarios
 from repro.analysis.runner import run_pulse_trial
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import derive_parameters
 from repro.crypto.signatures import clear_verify_cache, verify_cache_stats
 from repro.perf import (
@@ -217,7 +217,7 @@ class TestTraceLevels:
         faulty = list(range(6 - params.f, 6))
 
         def run(level):
-            simulation = build_cps_simulation(
+            simulation = assemble_cps_simulation(
                 params,
                 faulty=faulty,
                 behavior=scenarios.create("adversary", "mimic-split", params),

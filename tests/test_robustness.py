@@ -23,7 +23,7 @@ from repro.core.attacks import (
     CpsEquivocatingSubsetAttack,
     CpsMimicDealerAttack,
 )
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import derive_parameters
 from repro.sim.adversary import ReplayAdversary, SilentAdversary
 from repro.sim.clocks import HardwareClock
@@ -115,7 +115,7 @@ def test_theorem17_holds_for_random_configurations(
     faulty = sorted(rng.sample(range(n), f_actual))
     honest = [v for v in range(n) if v not in faulty]
     group = [v for v in honest if rng.random() < 0.5] or honest[:1]
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         clocks=make_clocks(params, rng),
         faulty=faulty,
@@ -142,7 +142,7 @@ def test_larger_system_spot_checks(seed):
     params = derive_parameters(1.001, 1.0, 0.02, n)
     faulty = list(range(n - params.f, n))
     group = [v for v in range(n) if v % 2 == 0]
-    simulation = build_cps_simulation(
+    simulation = assemble_cps_simulation(
         params,
         faulty=faulty,
         behavior=CpsMimicDealerAttack(params, group),

@@ -24,7 +24,7 @@ from repro.campaigns import (
     execute_campaign,
 )
 from repro.campaigns.store import dump_json_summary
-from repro.core.cps import build_cps_simulation
+from repro.core.cps import assemble_cps_simulation
 from repro.core.params import derive_parameters
 from repro.crypto.signatures import clear_verify_cache
 from repro.sim.trace import Trace, TraceLevel, TruncationRecord
@@ -60,7 +60,7 @@ PULSES = 8
 def build_small_cps(trace="pulses", n=5, seed=7):
     params = derive_parameters(1.001, 1.0, 0.02, n)
     faulty = list(range(n - params.f, n))
-    return build_cps_simulation(
+    return assemble_cps_simulation(
         params,
         faulty=faulty,
         behavior=scenarios.create("adversary", "mimic-split", params),

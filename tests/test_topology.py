@@ -140,14 +140,14 @@ class TestSimulateFullConnectivity:
         run (on the virtual fully connected network) and the Theorem 17
         bounds hold with the lifted (d_eff, u_eff)."""
         from repro.analysis.metrics import check_liveness, max_skew
-        from repro.core.cps import build_cps_simulation
+        from repro.core.cps import assemble_cps_simulation
 
         graph = nx.complete_graph(6)
         overlay = simulate_full_connectivity(
             graph, uniform_timings(graph, 1.0, 0.05), f=2, theta=1.0005
         )
         params = overlay.derive_parameters(theta=1.0005)
-        simulation = build_cps_simulation(
+        simulation = assemble_cps_simulation(
             params, faulty=[4, 5], seed=2, trace=False
         )
         result = simulation.run(max_pulses=6)

@@ -1,0 +1,373 @@
+"""The vectorized backend and the ``build_simulation`` facade.
+
+The backbone is the differential oracle: the same registry-keyed case,
+built twice through :func:`repro.build.build_simulation` — once on the
+event engine, once on the round-batched numpy engine — must produce an
+*identical* monitor verdict matrix, and (for deterministic delay
+policies) pulse streams that agree to floating-point tolerance.
+Random-delay scenarios are compared at the verdict level only: the two
+engines deliver messages in different orders, so draw-order equality is
+unattainable by construction (see ``repro.sim.vectorized.delays``).
+
+The rest covers the facade contract (backend resolution, deprecation
+shims, hash stability of ``MeasurementSpec.backend``), the unsupported-
+scenario envelope, the delay-matrix fast paths against the scalar
+policies they mirror, and the CLI/perf ``--backend`` plumbing.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.build import (
+    BACKENDS,
+    BuiltSimulation,
+    UnknownBackendError,
+    build_simulation,
+    resolve_backend,
+)
+from repro.campaigns.spec import MeasurementSpec, canonical_json
+from repro.checks.conformance import (
+    check_scenario,
+    conformance_matrix,
+    run_cps_conformance,
+)
+from repro.cli import main
+from repro.core.cps import assemble_cps_simulation, build_cps_simulation
+from repro.core.params import derive_parameters
+from repro.perf.cases import run_case
+from repro.scenarios import REGISTRY
+from repro.sim.errors import ConfigurationError
+from repro.sim.network import NetworkConfig
+from repro.sim.vectorized import (
+    UnsupportedScenarioError,
+    VectorizedSimulation,
+)
+from repro.sim.vectorized.delays import delay_matrix
+
+BASE_CASE = {"n": 6, "theta": 1.001, "d": 1.0, "u": 0.02}
+
+#: Deterministic-delay differential sample: every drift profile and
+#: every closed-form deterministic delay policy appears at least once.
+DETERMINISTIC_SCENARIOS = [
+    {"delay": "maximum", "drift": "extreme"},
+    {"delay": "minimum", "drift": "mixed"},
+    {"delay": "skewing", "drift": "staggered"},
+    {"delay": "eclipse", "drift": "random"},
+    {"delay": "biased-partition", "drift": "extreme"},
+    {"delay": "flicker-partition", "drift": "mixed"},
+    {"delay": "constant-fraction", "drift": "random"},
+]
+
+
+def _case(**keys):
+    case = dict(BASE_CASE)
+    case.setdefault("adversary", "silent")
+    case.update(keys)
+    return case
+
+
+def _verdict_dicts(verdicts):
+    return [v.as_dict() for v in verdicts]
+
+
+def _run_both(case, pulses=6, seed=11):
+    event = run_cps_conformance(case, pulses, seed, backend="event")
+    vector = run_cps_conformance(
+        case, pulses, seed, backend="vectorized"
+    )
+    return event, vector
+
+
+class TestDifferentialOracle:
+    @pytest.mark.parametrize(
+        "scenario",
+        DETERMINISTIC_SCENARIOS,
+        ids=lambda s: f"{s['delay']}-{s['drift']}",
+    )
+    def test_verdicts_and_pulses_identical(self, scenario):
+        case = _case(**scenario)
+        (ev, ev_result), (vec, vec_result) = _run_both(case)
+        assert _verdict_dicts(ev) == _verdict_dicts(vec)
+        assert all(v.ok for v in ev)
+        assert set(ev_result.pulses) == set(vec_result.pulses)
+        for node, times in ev_result.pulses.items():
+            assert vec_result.pulses[node] == pytest.approx(
+                times, abs=1e-9
+            )
+
+    def test_random_delays_verdict_level_only(self):
+        # Different (but both admissible) delay draws: the monitor
+        # matrix must agree, pulse times need not.
+        case = _case(delay="random", drift="random")
+        (ev, _er), (vec, _vr) = _run_both(case)
+        assert [(v.monitor, v.ok) for v in ev] == [
+            (v.monitor, v.ok) for v in vec
+        ]
+        assert all(v.ok for v in vec)
+
+    def test_quota_stop_semantics_match(self):
+        # The event engine halts the instant the slowest node emits
+        # its quota-filling pulse, so round P's broadcasts never
+        # happen; tcb-consistency sees honest * (P - 1) evaluations.
+        case = _case(delay="maximum", drift="extreme")
+        pulses = 5
+        (ev, _er), (vec, _vr) = _run_both(case, pulses=pulses)
+        honest = BASE_CASE["n"] - derive_parameters(
+            theta=1.001, u=0.02, d=1.0, n=6
+        ).f
+        for verdicts in (ev, vec):
+            tcb = next(
+                v for v in verdicts if v.monitor == "tcb-consistency"
+            )
+            assert tcb.checked == honest * (pulses - 1)
+
+    def test_final_skew_matches(self):
+        from repro.analysis import metrics
+
+        case = _case(delay="skewing", drift="extreme")
+        (_ev, ev_result), (_vec, vec_result) = _run_both(case)
+
+        def honest_pulses(result):
+            return {v: p for v, p in result.pulses.items() if p}
+
+        assert metrics.max_skew(
+            honest_pulses(vec_result)
+        ) == pytest.approx(
+            metrics.max_skew(honest_pulses(ev_result)), abs=1e-9
+        )
+
+
+class TestFacade:
+    def test_backend_catalog(self):
+        assert BACKENDS == ("event", "vectorized")
+        assert resolve_backend(None) == "event"
+        assert resolve_backend("vectorized") == "vectorized"
+
+    def test_unknown_backend_did_you_mean(self):
+        with pytest.raises(UnknownBackendError, match="vectorized"):
+            resolve_backend("vectorised")
+
+    def test_built_simulation_carries_backend(self):
+        built = build_simulation(_case(), backend="vectorized")
+        assert isinstance(built, BuiltSimulation)
+        assert built.backend == "vectorized"
+        assert isinstance(built.simulation, VectorizedSimulation)
+        simulation, params, f, effective = built.legacy_tuple()
+        assert simulation is built.simulation
+        assert params is built.params
+        assert f == built.f
+
+    def test_event_default(self):
+        built = build_simulation(_case())
+        assert built.backend == "event"
+        assert not isinstance(built.simulation, VectorizedSimulation)
+
+    def test_identical_clocks_across_backends(self):
+        # Both engines must see the same hardware clocks for the same
+        # (case, seed) — the root of the differential guarantee.
+        case = _case(drift="random")
+        ev = build_simulation(case, backend="event", seed=5)
+        vec = build_simulation(case, backend="vectorized", seed=5)
+        for a, b in zip(ev.simulation.clocks, vec.simulation.clocks):
+            for t in (0.0, 1.0, 7.5, 31.25):
+                assert a.local_time(t) == pytest.approx(
+                    b.local_time(t), abs=1e-12
+                )
+
+
+class TestUnsupportedScenarios:
+    @pytest.mark.parametrize(
+        "case",
+        [
+            _case(adversary="mimic-split"),
+            _case(adversary="coordinated-offset"),
+            {**_case(), "churn": "single-crash"},
+        ],
+        ids=["mimic-split", "coordinated-offset", "churn"],
+    )
+    def test_build_time_rejection(self, case):
+        with pytest.raises(UnsupportedScenarioError):
+            build_simulation(case, backend="vectorized")
+        # The same case builds fine on the event engine.
+        assert build_simulation(case, backend="event").simulation
+
+    def test_non_cps_modes_tabulated_as_errors(self):
+        report = check_scenario(
+            "churn", "single-crash", backend="vectorized"
+        )
+        assert not report.ok
+        assert "UnsupportedScenarioError" in report.error
+
+
+class TestDelayMatrix:
+    N = 6
+
+    def _policies(self):
+        for key in REGISTRY.keys("delay"):
+            yield key, REGISTRY.create("delay", key, self.N)
+
+    def test_shapes_with_partial_receiver_block(self):
+        # Regression: sender-only masks (skewing) once broadcast to
+        # (1, senders) instead of (receivers, senders).
+        config = NetworkConfig(n=self.N, d=1.0, u=0.02)
+        senders = list(range(self.N))
+        receivers = senders[:3]
+        send_real = np.linspace(0.0, 0.5, self.N)
+        rng = np.random.default_rng(0)
+        for key, policy in self._policies():
+            matrix = delay_matrix(
+                policy, config, senders, receivers, send_real, rng
+            )
+            assert matrix.shape == (3, self.N), key
+
+    def test_fast_paths_match_scalar_policies(self):
+        config = NetworkConfig(n=self.N, d=1.0, u=0.02)
+        senders = list(range(self.N))
+        send_real = np.full(self.N, 2.0)
+        for key, policy in self._policies():
+            if key == "random":
+                continue
+            matrix = delay_matrix(
+                policy, config, senders, senders, send_real, None
+            )
+            for i in senders:
+                for j in senders:
+                    expected = policy.delay(
+                        config, j, i, 2.0, None, True
+                    )
+                    assert matrix[i, j] == pytest.approx(
+                        expected, abs=1e-12
+                    ), key
+
+
+class TestDeprecationShims:
+    def test_build_cps_simulation_warns_and_matches(self):
+        params = derive_parameters(theta=1.001, u=0.02, d=1.0, n=4)
+        with pytest.warns(DeprecationWarning, match="assemble"):
+            deprecated = build_cps_simulation(params, seed=3)
+        reference = assemble_cps_simulation(params, seed=3)
+        old = deprecated.run(max_pulses=4)
+        new = reference.run(max_pulses=4)
+        assert old.pulses == new.pulses
+
+    def test_build_registry_simulation_warns_and_matches(self):
+        from repro.campaigns.builders import build_registry_simulation
+
+        case = _case(delay="skewing", drift="mixed")
+        with pytest.warns(DeprecationWarning, match="build_simulation"):
+            sim, params, f, effective = build_registry_simulation(
+                case, seed=9
+            )
+        built = build_simulation(case, seed=9)
+        assert f == built.f
+        assert params.S == built.params.S
+        old = sim.run(max_pulses=4)
+        new = built.simulation.run(max_pulses=4)
+        assert old.pulses == new.pulses
+
+
+class TestHashStability:
+    def test_default_backend_omitted_from_spec_dict(self):
+        # Pre-facade spec keys (and the committed result stores keyed
+        # by them) must hash unchanged.
+        assert "backend" not in MeasurementSpec().as_dict()
+        spec = MeasurementSpec(backend="vectorized")
+        assert spec.as_dict()["backend"] == "vectorized"
+        assert canonical_json(MeasurementSpec()) == canonical_json(
+            MeasurementSpec(backend="event")
+        )
+        assert canonical_json(spec) != canonical_json(
+            MeasurementSpec()
+        )
+
+    def test_invalid_backend_rejected_at_construction(self):
+        with pytest.raises(UnknownBackendError):
+            MeasurementSpec(backend="vectorised")
+
+    def test_matrix_payload_backend_key_only_when_non_default(self):
+        event = conformance_matrix(kinds=("drift",))
+        vector = conformance_matrix(
+            kinds=("drift",), backend="vectorized"
+        )
+        assert "backend" not in event
+        assert vector["backend"] == "vectorized"
+        assert vector["pass"]
+        # Both payloads stay JSON-serializable (the CLI writes them).
+        json.dumps(event), json.dumps(vector)
+
+
+class TestCliBackendFlag:
+    def test_check_run_vectorized(self, capsys):
+        assert (
+            main(
+                [
+                    "check", "run", "maximum", "--kind", "delay",
+                    "--backend", "vectorized",
+                ]
+            )
+            == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+
+    def test_backend_did_you_mean(self):
+        with pytest.raises(SystemExit, match="did you mean"):
+            main(
+                [
+                    "check", "run", "maximum", "--kind", "delay",
+                    "--backend", "vectorised",
+                ]
+            )
+
+    def test_check_matrix_refuses_default_out(self, capsys, tmp_path):
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            main(
+                [
+                    "check", "matrix", "--backend", "vectorized",
+                    "--kind", "drift",
+                ]
+            )
+        except SystemExit:
+            pass  # matrix verdict exit code is irrelevant here
+        finally:
+            os.chdir(cwd)
+        out = capsys.readouterr().out
+        assert "not overwriting" in out
+        assert not (tmp_path / "results" / "conformance.json").exists()
+
+
+class TestPerfBackendThreading:
+    def test_override_rejected_for_unaware_case(self):
+        with pytest.raises(ConfigurationError, match="e9-vectorized"):
+            run_case("queue-churn", backend="vectorized")
+
+    def test_e9_case_defaults_to_vectorized(self):
+        result = run_case("e9-vectorized-1k", repeats=1)
+        assert result.meta["backend"] == "vectorized"
+        assert result.meta["n"] == 1000
+        assert result.meta["max_skew"] <= result.meta["bound_S"] + 1e-9
+
+
+class TestE9ScaleCampaign:
+    def test_registered_with_vectorized_measurements(self):
+        from repro.analysis import experiments  # noqa: F401
+        from repro.campaigns import campaign_definition
+
+        spec = campaign_definition("E9-SCALE").spec()
+        assert all(
+            m.backend == "vectorized"
+            for m in spec.measurements.values()
+        )
+        cases = spec.scenarios[0].grid_for("full")
+        assert sorted(c["n"] for c in cases) == [100, 1000, 10000]
+
+    def test_experiment_id_resolves(self):
+        from repro.analysis.experiments import EXPERIMENTS
+
+        assert "E9-SCALE" in EXPERIMENTS
