@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Prove two result stores hold the same campaign results.
+
+CI's shard-smoke job runs the same campaign twice — once through the
+process pool, once through two detached queue workers writing disjoint
+shards — and this script is the verdict: for every spec key present in
+both stores, the ``case_key -> metrics`` maps must be identical.  It
+also checks the merge invariant on the right store: folding shards into
+the base file must not change ``load()``.
+
+Usage::
+
+    python scripts/check_shard_equivalence.py LEFT_STORE RIGHT_STORE
+        [--key SPEC_KEY] [--merge-right]
+
+Exits 0 when equivalent, 1 with a diff summary otherwise.
+"""
+
+import argparse
+import sys
+
+from repro.campaigns import ResultStore
+
+
+def snapshot(store, key):
+    """The comparable view of one spec key: case_key -> (ok, metrics)."""
+    return {
+        case_key: (record.ok, record.metrics, record.error)
+        for case_key, record in store.load(key).items()
+    }
+
+
+def diff_keys(left, right):
+    """Human-readable lines describing how two snapshots differ."""
+    lines = []
+    for case_key in sorted(set(left) - set(right)):
+        lines.append(f"  only in left:  {case_key[:16]}…")
+    for case_key in sorted(set(right) - set(left)):
+        lines.append(f"  only in right: {case_key[:16]}…")
+    for case_key in sorted(set(left) & set(right)):
+        if left[case_key] != right[case_key]:
+            lines.append(
+                f"  records differ for {case_key[:16]}…:\n"
+                f"    left:  {left[case_key]}\n"
+                f"    right: {right[case_key]}"
+            )
+    return lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compare two campaign result stores record by record"
+    )
+    parser.add_argument("left", help="reference store directory")
+    parser.add_argument("right", help="store directory under test")
+    parser.add_argument(
+        "--key",
+        action="append",
+        default=None,
+        help="spec key(s) to compare (default: every key in both)",
+    )
+    parser.add_argument(
+        "--merge-right",
+        action="store_true",
+        help="also merge the right store's shards and re-verify "
+        "(the merge invariant: folding shards never changes load())",
+    )
+    args = parser.parse_args(argv)
+
+    left = ResultStore(args.left)
+    right = ResultStore(args.right)
+    keys = args.key or sorted(set(left.keys()) & set(right.keys()))
+    if not keys:
+        print(
+            f"no spec keys shared between {args.left} and {args.right}",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = 0
+    for key in keys:
+        before = snapshot(left, key)
+        after = snapshot(right, key)
+        lines = diff_keys(before, after)
+        if lines:
+            failures += 1
+            print(f"MISMATCH {key}:")
+            print("\n".join(lines))
+            continue
+        shards = right.shards(key)
+        if args.merge_right:
+            merged = right.merge(key)
+            if snapshot(right, key) != before:
+                failures += 1
+                print(f"MISMATCH {key}: merge changed load()")
+                continue
+            print(
+                f"OK {key}: {len(before)} record(s) — "
+                f"{merged['shards']} shard(s) merged, "
+                f"{merged['dropped']} superseded line(s) dropped"
+            )
+        else:
+            print(
+                f"OK {key}: {len(before)} record(s) across "
+                f"{len(shards)} shard(s)"
+            )
+    if failures:
+        print(f"{failures} spec key(s) differ", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,15 @@ The subsystem splits a sweep into four orthogonal layers:
     :func:`execute_campaign` — serial or process-pool execution with
     chunking, per-trial timeouts, and failure tabulation.
 ``store``
-    :class:`ResultStore` — content-addressed JSONL records enabling
-    cache replay and resume of partially-run campaigns.
+    :class:`ResultStore` — content-addressed, shard-aware JSONL
+    records enabling cache replay, resume, and multi-writer merges.
+``queue``
+    :class:`WorkQueue`/:func:`run_worker` — elastic execution: N
+    independent worker processes claim chunk leases from a shared
+    directory and write disjoint store shards.
+``adaptive``
+    :class:`AdaptivePolicy`/:func:`execute_adaptive_campaign` —
+    per-cell replication until a confidence-interval width target.
 ``aggregate``
     group-by/statistics helpers reducing trial records into
     :class:`~repro.analysis.reporting.Table` rows.
@@ -40,6 +47,10 @@ from repro.campaigns.aggregate import (
     summary_stats,
     value_of,
 )
+from repro.campaigns.adaptive import (
+    AdaptivePolicy,
+    execute_adaptive_campaign,
+)
 from repro.campaigns.builders import (
     BUILDERS,
     TrialFailure,
@@ -66,7 +77,14 @@ from repro.campaigns.spec import (
     stable_hash,
     validate_scenario_names,
 )
-from repro.campaigns.store import ResultStore
+from repro.campaigns.queue import (
+    QueueError,
+    WorkQueue,
+    default_worker_id,
+    execute_campaign_queued,
+    run_worker,
+)
+from repro.campaigns.store import CorruptStoreError, ResultStore
 
 
 @dataclass(frozen=True)
@@ -114,21 +132,28 @@ __all__ = [
     "BUILDERS",
     "CATALOG",
     "SCENARIO_CASE_KEYS",
+    "AdaptivePolicy",
     "CampaignDefinition",
     "CampaignRun",
     "CampaignSpec",
+    "CorruptStoreError",
     "ExecutionPolicy",
     "MeasurementSpec",
+    "QueueError",
     "ResultStore",
     "ScenarioSpec",
     "TrialFailure",
     "TrialPlan",
     "TrialRecord",
+    "WorkQueue",
     "available_campaigns",
     "campaign_definition",
     "canonical_json",
+    "default_worker_id",
     "derive_seed",
+    "execute_adaptive_campaign",
     "execute_campaign",
+    "execute_campaign_queued",
     "failure_counts",
     "group_by",
     "map_trials",
@@ -138,6 +163,7 @@ __all__ = [
     "resolve_builder",
     "run_summary_table",
     "run_trial",
+    "run_worker",
     "scales_of",
     "stable_hash",
     "summary_stats",

@@ -1,0 +1,310 @@
+"""Adaptive sampling: per-cell stopping on a confidence-interval target.
+
+A fixed campaign tier runs every grid cell exactly once; estimating a
+cell's headline metric (``max_skew``) with error bars means replicating
+each cell N times — and a fixed N pays the worst-case price for every
+cell, including the ones whose estimate converged after three draws.
+This module implements the alternative from the ROADMAP: *run trials
+per cell until a confidence-interval width target is hit*, bounded by a
+per-cell trial cap.
+
+Mechanics
+---------
+Each tier plan is a *cell*.  Replicate ``r`` of a cell is derived by
+:meth:`~repro.campaigns.spec.CampaignSpec.replicate_plan` — the case
+gains a ``replicate`` axis (its own seed and case key, so replicates
+cache and resume like any trial; replicate 0 is the tier's own plan and
+stays a cache hit against fixed-tier stores).  Execution proceeds in
+rounds: every cell first gets ``min_trials`` replicates, then each
+round adds one replicate to every unconverged cell, until the cell's
+normal-approximation CI width
+
+    ``width = 2 * z * stdev / sqrt(n)``  (z from ``confidence``)
+
+drops to ``ci_width`` or the cell reaches ``max_trials``.  Cells whose
+records error out or produce non-finite metrics (dead runs tabulated
+as ``inf`` skew) never converge and run to the cap — a noisy cell is
+exactly the one that needs the draws.
+
+Rounds are barriers: which trials run next is decided only from
+completed, deterministic records, so the surviving trial set is
+identical for ``workers=1`` and ``workers=N`` (the same property the
+fixed executor has, lifted to the stopping rule).
+
+The run's :class:`~repro.campaigns.executor.CampaignRun` carries an
+``adaptive`` summary (cells, converged/exhausted counts, trials
+executed vs. the fixed ``cells x max_trials`` design, per-cell stats)
+that feeds ``repro campaign run --adaptive`` output and the telemetry
+sidecar.  See ``docs/SCALING.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaigns.executor import (
+    CampaignRun,
+    ExecutionPolicy,
+    TrialRecord,
+    _run_prepared,
+    _timeout_record,
+    map_trials,
+)
+from repro.campaigns.spec import CampaignSpec, TrialPlan
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """The stopping rule: target CI width on one headline metric.
+
+    ``ci_width`` is the full width (upper minus lower bound) of the
+    ``confidence``-level normal-approximation interval on the cell's
+    mean ``metric``.  ``min_trials`` draws are taken before the first
+    width check (a width from fewer than two points is meaningless);
+    ``max_trials`` caps every cell, converged or not.
+    """
+
+    ci_width: float
+    metric: str = "max_skew"
+    confidence: float = 0.95
+    min_trials: int = 3
+    max_trials: int = 8
+
+    def __post_init__(self) -> None:
+        if not (self.ci_width > 0):
+            raise ValueError(
+                f"ci_width must be positive, got {self.ci_width!r}"
+            )
+        if not (0 < self.confidence < 1):
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence!r}"
+            )
+        if self.min_trials < 2:
+            raise ValueError(
+                f"min_trials must be >= 2 (a CI needs variance), "
+                f"got {self.min_trials}"
+            )
+        if self.max_trials < self.min_trials:
+            raise ValueError(
+                f"max_trials ({self.max_trials}) must be >= "
+                f"min_trials ({self.min_trials})"
+            )
+
+    @property
+    def z_value(self) -> float:
+        """Two-sided normal critical value for ``confidence``."""
+        return statistics.NormalDist().inv_cdf(
+            (1 + self.confidence) / 2
+        )
+
+
+def _metric_value(
+    record: TrialRecord, metric: str
+) -> Optional[float]:
+    """The record's finite metric value, or None (never converges)."""
+    if not record.ok:
+        return None
+    value = record.metrics.get(metric)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if not math.isfinite(value):
+        return None
+    return float(value)
+
+
+def _cell_width(
+    records: List[TrialRecord], metric: str, z: float
+) -> float:
+    """CI width of a cell's metric; inf while unbounded or too small."""
+    values = []
+    for record in records:
+        value = _metric_value(record, metric)
+        if value is None:
+            return math.inf
+        values.append(value)
+    if len(values) < 2:
+        return math.inf
+    spread = statistics.stdev(values)
+    return 2 * z * spread / math.sqrt(len(values))
+
+
+def execute_adaptive_campaign(
+    spec: CampaignSpec,
+    scale: str = "quick",
+    adaptive: Optional[AdaptivePolicy] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    store: Optional[Any] = None,
+    reuse: bool = True,
+    progress: Optional[Callable[[int, int, TrialRecord], None]] = None,
+) -> CampaignRun:
+    """Run ``spec`` at ``scale`` under the adaptive stopping rule.
+
+    Execution, caching, and failure tabulation follow
+    :func:`~repro.campaigns.executor.execute_campaign` conventions —
+    replicates persist to the store as they finish (pool-level failures
+    excluded), cached replicates replay without execution, and the
+    returned records are ordered cell-major (every replicate of plan 0,
+    then plan 1, ...) with sequential indices.
+    """
+    if adaptive is None:
+        raise ValueError(
+            "execute_adaptive_campaign needs an AdaptivePolicy"
+        )
+    policy = policy or ExecutionPolicy()
+    if policy.queue is not None:
+        raise ValueError(
+            "adaptive sampling is incompatible with queue mode: the "
+            "stopping rule needs round barriers a detached worker "
+            "fleet cannot provide"
+        )
+
+    plans = spec.trials_for(scale)
+    key = spec.spec_key(scale) if store is not None else None
+    known: Dict[str, TrialRecord] = (
+        store.load(key) if store is not None and reuse else {}
+    )
+    z = adaptive.z_value
+
+    cell_records: Dict[int, List[TrialRecord]] = {
+        cell: [] for cell in range(len(plans))
+    }
+    # Replicates wanted per cell; grows one per round for unconverged
+    # cells until ci_width is met or max_trials is hit.
+    wanted = {cell: adaptive.min_trials for cell in range(len(plans))}
+    executed = 0
+    cached = 0
+    done = 0
+    transient: set = set()
+
+    def pool_failure(task: Any, exc: BaseException) -> TrialRecord:
+        plan = task[0]
+        transient.add(plan.case_key)
+        return _timeout_record(plan, exc)
+
+    while True:
+        batch: List[Tuple[int, TrialPlan]] = []
+        for cell, plan in enumerate(plans):
+            for r in range(len(cell_records[cell]), wanted[cell]):
+                batch.append((cell, spec.replicate_plan(plan, r)))
+        if not batch:
+            break
+
+        fresh: List[Tuple[int, TrialPlan]] = []
+        for cell, rp in batch:
+            hit = known.get(rp.case_key)
+            if hit is not None:
+                cell_records[cell].append(
+                    replace(hit, index=rp.index, cached=True)
+                )
+                cached += 1
+                done += 1
+            else:
+                fresh.append((cell, rp))
+
+        if fresh:
+            def persist(record: TrialRecord) -> None:
+                nonlocal done
+                if (
+                    store is not None
+                    and record.case_key not in transient
+                ):
+                    store.append(key, record)
+                done += 1
+                if progress is not None:
+                    progress(done, sum(wanted.values()), record)
+
+            from repro.campaigns.builders import resolve_builder
+
+            prepared = []
+            for _cell, rp in fresh:
+                try:
+                    builder = resolve_builder(rp.builder)
+                except Exception:  # noqa: BLE001 - tabulated in-place
+                    builder = None
+                prepared.append((rp, builder))
+            results = map_trials(
+                _run_prepared,
+                prepared,
+                policy,
+                on_error=pool_failure,
+                on_result=persist,
+            )
+            for (cell, _rp), record in zip(fresh, results):
+                cell_records[cell].append(record)
+                # New records enter the replay map so a later round
+                # (or replicate-0 sharing with the fixed tier) hits.
+                if record.case_key not in transient:
+                    known[record.case_key] = record
+            executed += len(fresh)
+
+        # Round barrier: grow only cells that are unconverged at their
+        # current draw count and still under the cap.
+        for cell in range(len(plans)):
+            if wanted[cell] > len(cell_records[cell]):
+                continue  # still owed draws (shouldn't happen)
+            if wanted[cell] >= adaptive.max_trials:
+                continue
+            width = _cell_width(
+                cell_records[cell], adaptive.metric, z
+            )
+            if width > adaptive.ci_width:
+                wanted[cell] += 1
+
+    per_cell = []
+    converged = 0
+    total_trials = 0
+    for cell, plan in enumerate(plans):
+        records = cell_records[cell]
+        total_trials += len(records)
+        width = _cell_width(records, adaptive.metric, z)
+        values = [
+            v
+            for v in (
+                _metric_value(r, adaptive.metric) for r in records
+            )
+            if v is not None
+        ]
+        ok = width <= adaptive.ci_width
+        converged += 1 if ok else 0
+        per_cell.append(
+            {
+                "case_key": plan.case_key,
+                "n": len(records),
+                "mean": (
+                    statistics.fmean(values) if values else None
+                ),
+                "width": width,
+                "converged": ok,
+            }
+        )
+
+    fixed_trials = len(plans) * adaptive.max_trials
+    summary = {
+        "metric": adaptive.metric,
+        "ci_width": adaptive.ci_width,
+        "confidence": adaptive.confidence,
+        "min_trials": adaptive.min_trials,
+        "max_trials": adaptive.max_trials,
+        "cells": len(plans),
+        "converged": converged,
+        "exhausted": len(plans) - converged,
+        "trials": total_trials,
+        "fixed_trials": fixed_trials,
+        "saved": fixed_trials - total_trials,
+    }
+
+    ordered: List[TrialRecord] = []
+    for cell in range(len(plans)):
+        for record in cell_records[cell]:
+            ordered.append(replace(record, index=len(ordered)))
+    return CampaignRun(
+        spec=spec,
+        scale=scale,
+        records=ordered,
+        executed=executed,
+        cached=cached,
+        adaptive={**summary, "per_cell": per_cell},
+    )

@@ -18,13 +18,17 @@ loops:
   interrupted campaign resumes where it stopped.
 
 Per-trial timeouts are enforced in pool mode only (a chunk is given
-``timeout * len(chunk)`` and tabulated as timeout errors if exceeded);
-serial mode cannot preempt a running trial and ignores the setting.
+``timeout * len(chunk)``, measured from the moment a worker actually
+*starts* the chunk, and tabulated as timeout errors if exceeded);
+serial mode cannot preempt a running trial, so a requested timeout is
+dropped with a warning.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
@@ -32,28 +36,53 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.campaigns.spec import CampaignSpec, TrialPlan
 
+#: How often the parent re-checks chunk start stamps while waiting on a
+#: budgeted future.  Bounds timeout-detection latency, not throughput.
+_POLL_SECONDS = 0.05
+
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
     """How a campaign is scheduled.
 
-    ``workers <= 1`` runs in-process; larger values use a
+    ``workers == 1`` runs in-process; larger values use a
     ``ProcessPoolExecutor`` with ``chunk_size`` plans per task.
     ``timeout`` is the per-trial budget in seconds (pool mode only) —
-    it is enforced per *chunk* (``timeout * len(chunk)``), so one slow
-    trial can tabulate its whole chunk as timed out; pair ``timeout``
-    with ``chunk_size=1`` when per-trial precision matters.  Workers
-    hung past their budget are terminated so the pool shutdown cannot
-    block indefinitely.
+    it is enforced per *chunk* (``timeout * len(chunk)``) against the
+    chunk's own execution time (stamped by the worker when it starts,
+    so queue-wait behind a slow sibling is never charged), and one slow
+    trial can still tabulate its whole chunk as timed out; pair
+    ``timeout`` with ``chunk_size=1`` when per-trial precision matters.
+    Workers hung past their budget are terminated so the pool shutdown
+    cannot block indefinitely.
+
+    ``queue`` switches to elastic queue execution: the campaign's
+    chunks are published as leases under the given directory and run by
+    any number of queue workers — the in-process coordinator plus every
+    ``repro campaign worker`` pointed at the same directory (see
+    :mod:`repro.campaigns.queue`).  ``worker_id`` names this process's
+    store shard (defaults to a host/pid-derived name) and ``lease_ttl``
+    is the heartbeat age after which another worker may reclaim a
+    chunk.
     """
 
     workers: int = 1
     chunk_size: int = 4
     timeout: Optional[float] = None
+    queue: Optional[str] = None
+    worker_id: Optional[str] = None
+    lease_ttl: float = 60.0
 
     def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {self.workers} "
+                f"(1 = in-process serial)"
+            )
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
 
 
 @dataclass
@@ -149,6 +178,25 @@ def _run_batch(function: Callable[[Any], Any], items: Sequence[Any]) -> List[Any
     return [function(item) for item in items]
 
 
+def _run_stamped_batch(
+    function: Callable[[Any], Any],
+    items: Sequence[Any],
+    stamps: Any,
+    index: int,
+) -> List[Any]:
+    """Pool task that stamps its own start time before running.
+
+    ``stamps`` is a manager-dict proxy shared with the parent; the
+    stamp is what lets the parent charge the chunk's budget against
+    *execution* time instead of time-in-queue — a chunk stuck behind a
+    hung sibling has no stamp and is never tabulated as timed out.
+    ``time.monotonic`` is a system-wide clock on the platforms we
+    support, so parent and worker readings are comparable.
+    """
+    stamps[index] = time.monotonic()
+    return [function(item) for item in items]
+
+
 def map_trials(
     function: Callable[[Any], Any],
     items: Sequence[Any],
@@ -177,9 +225,18 @@ def map_trials(
         if on_result is not None:
             on_result(result)
 
-    # The serial shortcut must not swallow a requested timeout: a
-    # single-item pool run is still the only way to preempt a hung trial.
+    # The serial shortcut must not *silently* swallow a requested
+    # timeout: a single-item pool run is still the only way to preempt
+    # a hung trial, so workers >= 2 with one item keeps the pool.
     if policy.workers <= 1 or (len(items) <= 1 and policy.timeout is None):
+        if policy.timeout is not None and policy.workers <= 1:
+            warnings.warn(
+                "ExecutionPolicy.timeout is ignored in serial mode "
+                "(workers=1): an in-process trial cannot be "
+                "preempted — use workers >= 2 to enforce the budget",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         for item in items:
             try:
                 result = function(item)
@@ -195,58 +252,178 @@ def map_trials(
         list(items[start:start + policy.chunk_size])
         for start in range(0, len(items), policy.chunk_size)
     ]
+    if policy.timeout is None:
+        pool = ProcessPoolExecutor(max_workers=policy.workers)
+        try:
+            futures = [
+                pool.submit(_run_batch, function, chunk)
+                for chunk in chunks
+            ]
+            for chunk, future in zip(chunks, futures):
+                try:
+                    batch = future.result()
+                except Exception as exc:  # noqa: BLE001 - broken pool
+                    batch = [on_error(item, exc) for item in chunk]
+                for result in batch:
+                    emit(result)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return results
+
+    _map_chunks_budgeted(function, chunks, policy, on_error, emit)
+    return results
+
+
+def _map_chunks_budgeted(
+    function: Callable[[Any], Any],
+    chunks: List[List[Any]],
+    policy: ExecutionPolicy,
+    on_error: Callable[[Any, BaseException], Any],
+    emit: Callable[[Any], None],
+) -> None:
+    """Pool rounds with per-chunk budgets charged from worker start.
+
+    Workers stamp each chunk's start into a shared manager dict; the
+    parent tabulates a chunk as timed out only once ``now - start``
+    exceeds ``timeout * len(chunk)``.  A chunk still waiting for a
+    worker carries no stamp and is never charged — when a hung chunk
+    forces the pool to be torn down, every started-but-unfinished and
+    never-started chunk is resubmitted to a fresh pool, so innocent
+    work queued behind the hang runs instead of being billed for it.
+    Each torn-down round tabulates at least one chunk, so the loop
+    terminates.  Batches are emitted in chunk order, each as soon as
+    every earlier chunk has settled (the incremental-store-write hook).
+    """
+    batches: Dict[int, List[Any]] = {}
+    settled: set = set()
+    pending = list(range(len(chunks)))
+    next_emit = 0
+
+    def settle(index: int, batch: List[Any]) -> None:
+        nonlocal next_emit
+        batches[index] = batch
+        settled.add(index)
+        while next_emit in batches:
+            for result in batches.pop(next_emit):
+                emit(result)
+            next_emit += 1
+
+    with multiprocessing.Manager() as manager:
+        stamps = manager.dict()
+        while pending:
+            # Stale stamps from a killed round would bill a resubmitted
+            # chunk for its previous, terminated attempt.
+            for index in pending:
+                stamps.pop(index, None)
+            _budgeted_round(
+                function, chunks, pending, policy, stamps, settle,
+                on_error,
+            )
+            pending = [
+                index for index in pending if index not in settled
+            ]
+
+
+def _budgeted_round(
+    function: Callable[[Any], Any],
+    chunks: List[List[Any]],
+    pending: List[int],
+    policy: ExecutionPolicy,
+    stamps: Any,
+    settle: Callable[[int, List[Any]], None],
+    on_error: Callable[[Any, BaseException], Any],
+) -> None:
+    """One pool generation; settles every chunk it finishes or bills."""
+    assert policy.timeout is not None
     pool = ProcessPoolExecutor(max_workers=policy.workers)
     timed_out = False
     try:
-        futures = [
-            pool.submit(_run_batch, function, chunk) for chunk in chunks
-        ]
-        for chunk, future in zip(chunks, futures):
-            budget = (
-                policy.timeout * len(chunk)
-                if policy.timeout is not None
-                else None
+        futures = {
+            index: pool.submit(
+                _run_stamped_batch, function, chunks[index], stamps,
+                index,
             )
+            for index in pending
+        }
+        waiting = list(pending)
+        while waiting:
+            head = waiting[0]
             try:
-                batch = future.result(timeout=budget)
+                batch = futures[head].result(timeout=_POLL_SECONDS)
             except FutureTimeoutError:
-                timed_out = True
-                future.cancel()
-                batch = [
-                    on_error(
-                        item,
-                        TimeoutError(
-                            f"trial chunk exceeded "
-                            f"{policy.timeout}s per trial"
-                        ),
-                    )
-                    for item in chunk
+                now = time.monotonic()
+                overdue = [
+                    index
+                    for index in waiting
+                    if not futures[index].done()
+                    and stamps.get(index) is not None
+                    and now - stamps[index]
+                    > policy.timeout * len(chunks[index])
                 ]
-            except Exception as exc:  # noqa: BLE001 - broken pool, pickle
-                batch = [on_error(item, exc) for item in chunk]
-            for result in batch:
-                emit(result)
+                if not overdue:
+                    continue
+                timed_out = True
+                for index in overdue:
+                    settle(index, [
+                        on_error(
+                            item,
+                            TimeoutError(
+                                f"trial chunk exceeded "
+                                f"{policy.timeout}s per trial"
+                            ),
+                        )
+                        for item in chunks[index]
+                    ])
+                # Harvest whatever completed before the teardown; the
+                # rest is resubmitted in the next round.
+                for index in waiting:
+                    if index in overdue or not futures[index].done():
+                        continue
+                    try:
+                        settle(index, futures[index].result())
+                    except Exception as exc:  # noqa: BLE001
+                        settle(index, [
+                            on_error(item, exc)
+                            for item in chunks[index]
+                        ])
+                break
+            except Exception as exc:  # noqa: BLE001 - broken pool
+                settle(head, [
+                    on_error(item, exc) for item in chunks[head]
+                ])
+                waiting.pop(0)
+            else:
+                settle(head, batch)
+                waiting.pop(0)
     finally:
         if timed_out:
             # shutdown(wait=True) would block on the hung worker until
             # its trial returns — possibly forever.  Every outstanding
-            # future is already tabulated, so kill the workers.
+            # chunk is either settled or resubmitted, so kill the
+            # workers.
             processes = getattr(pool, "_processes", None) or {}
             for process in list(processes.values()):
                 process.terminate()
         pool.shutdown(wait=True, cancel_futures=True)
-    return results
 
 
 @dataclass
 class CampaignRun:
-    """The outcome of executing one campaign at one scale."""
+    """The outcome of executing one campaign at one scale.
+
+    ``adaptive`` is populated only by
+    :func:`repro.campaigns.adaptive.execute_adaptive_campaign` — a
+    summary of the per-cell stopping rule (trials run vs. the fixed
+    tier, converged cells, saved trials) that feeds the run summary
+    table and the telemetry sidecar.
+    """
 
     spec: CampaignSpec
     scale: str
     records: List[TrialRecord]
     executed: int
     cached: int
+    adaptive: Optional[Dict[str, Any]] = None
 
     @property
     def failed(self) -> int:
@@ -305,6 +482,22 @@ def execute_campaign(
     complete.
     """
     policy = policy or ExecutionPolicy()
+    if policy.queue is not None:
+        # Elastic mode: publish chunk leases under the queue directory
+        # and run an in-process worker alongside any external
+        # ``repro campaign worker`` processes, then assemble the run
+        # from the shared store.
+        from repro.campaigns.queue import execute_campaign_queued
+
+        return execute_campaign_queued(
+            spec,
+            scale=scale,
+            policy=policy,
+            store=store,
+            reuse=reuse,
+            instrumentation=instrumentation,
+            progress=progress,
+        )
     plans = spec.trials_for(scale)
     key = spec.spec_key(scale) if store is not None else None
     known: Dict[str, TrialRecord] = (

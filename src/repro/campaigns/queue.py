@@ -1,0 +1,485 @@
+"""Elastic campaign execution over a directory-based work queue.
+
+The pool executor scales to one machine; this module scales a campaign
+to *N independent worker processes* — started by hand, by CI, or on
+other machines — coordinating through nothing but a shared directory
+(local disk for same-host workers, a network mount for a fleet):
+
+* ``WorkQueue.enqueue`` publishes a campaign's pending trials as chunk
+  files under the queue directory, plus a ``manifest.json`` naming the
+  campaign, scale, and spec key (written last, atomically, so a worker
+  that sees the manifest sees every chunk).
+* Workers (:func:`run_worker`, CLI ``repro campaign worker``) loop:
+  **claim** a chunk by exclusively creating its ``.claim`` file
+  (``O_CREAT | O_EXCL`` — the filesystem is the lock manager), run its
+  trials, **heartbeat** by touching the claim's mtime between trials,
+  and **complete** by writing a ``.done`` marker.  A claim whose
+  heartbeat is older than the lease TTL is presumed dead and
+  **reclaimed** (removed and re-claimed) by any live worker.
+* Every worker writes records to its *own shard* of the shared
+  :class:`~repro.campaigns.store.ResultStore`
+  (``<spec_key>/<worker_id>.jsonl``) — appends never interleave across
+  writers, and :meth:`~repro.campaigns.store.ResultStore.load` dedups
+  across shards by case key, so the rare double-execution after a
+  reclaim race (a zombie worker finishing a chunk someone else
+  re-claimed) is idempotent: records are deterministic per case key.
+* The coordinator (:func:`execute_campaign_queued`, reached via
+  ``ExecutionPolicy(queue=...)``) enqueues, joins the queue as one more
+  worker, and — once every chunk carries a ``.done`` marker — assembles
+  the :class:`~repro.campaigns.executor.CampaignRun` from the store in
+  plan order, exactly like the pool path.
+
+Crash recovery falls out of the store contract: a worker killed
+mid-chunk leaves a stale claim and a partial shard; the reclaiming
+worker re-runs only the trials of that chunk not already in the store
+(each chunk starts with a cache check), so lost work is bounded by one
+trial per crash.
+
+Queue directory layout::
+
+    <queue>/manifest.json        campaign, scale, spec_key, chunk count
+    <queue>/chunk-00000.json     {"chunk": 0, "indices": [plan indices]}
+    <queue>/chunk-00000.claim    held lease; mtime = last heartbeat
+    <queue>/chunk-00000.done     completion marker
+
+See ``docs/SCALING.md`` for the full protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaigns.executor import (
+    CampaignRun,
+    ExecutionPolicy,
+    TrialRecord,
+    run_trial,
+)
+from repro.campaigns.spec import CampaignSpec, TrialPlan
+
+_CHUNK_FILE = re.compile(r"^chunk-\d{5}\.json$")
+
+
+class QueueError(RuntimeError):
+    """A work-queue protocol violation (missing/mismatched manifest)."""
+
+
+def default_worker_id() -> str:
+    """Host+pid derived shard name, unique per worker process."""
+    host = re.sub(r"[^A-Za-z0-9._-]+", "-", socket.gethostname())
+    host = host.lstrip("._-") or "host"
+    return f"{host}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed chunk: which plan indices, held by which worker."""
+
+    chunk: str
+    indices: List[int]
+    worker: str
+    reclaimed: bool = False
+
+
+class WorkQueue:
+    """A campaign's chunk queue in one shared directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, "manifest.json")
+
+    def chunk_path(self, chunk: str) -> str:
+        return os.path.join(self.root, f"{chunk}.json")
+
+    def claim_path(self, chunk: str) -> str:
+        return os.path.join(self.root, f"{chunk}.claim")
+
+    def done_path(self, chunk: str) -> str:
+        return os.path.join(self.root, f"{chunk}.done")
+
+    # ------------------------------------------------------------------
+    # Publishing
+
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.manifest_path(), encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+
+    def enqueue(
+        self,
+        spec: CampaignSpec,
+        scale: str,
+        plans: Optional[List[TrialPlan]] = None,
+        chunk_size: int = 4,
+    ) -> Dict[str, Any]:
+        """Publish ``plans`` (default: the full tier) as chunk files.
+
+        Chunk files land first and the manifest last (atomic rename),
+        so a worker that can read the manifest can rely on every chunk
+        file existing.  Re-enqueueing a populated queue directory is an
+        error — one directory holds one campaign run.
+        """
+        if self.manifest() is not None:
+            raise QueueError(
+                f"queue at {self.root} already has a campaign "
+                f"enqueued; use a fresh directory per run"
+            )
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if plans is None:
+            plans = spec.trials_for(scale)
+        os.makedirs(self.root, exist_ok=True)
+        chunks = [
+            plans[start:start + chunk_size]
+            for start in range(0, len(plans), chunk_size)
+        ]
+        for number, chunk in enumerate(chunks):
+            payload = {
+                "chunk": number,
+                "indices": [plan.index for plan in chunk],
+            }
+            with open(
+                self.chunk_path(f"chunk-{number:05d}"),
+                "w",
+                encoding="utf-8",
+            ) as handle:
+                json.dump(payload, handle)
+                handle.write("\n")
+        manifest = {
+            "campaign": spec.name,
+            "scale": scale,
+            "spec_key": spec.spec_key(scale),
+            "chunk_size": chunk_size,
+            "chunks": len(chunks),
+            "trials": len(plans),
+        }
+        staging = self.manifest_path() + ".tmp"
+        with open(staging, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(staging, self.manifest_path())
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Leases
+
+    def chunk_ids(self) -> List[str]:
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.root)
+            if _CHUNK_FILE.match(name)
+        )
+
+    def claim(
+        self, worker_id: str, lease_ttl: float = 60.0
+    ) -> Optional[Lease]:
+        """Claim the first open chunk, reclaiming stale leases.
+
+        Exclusive claim-file creation is the mutual exclusion; a claim
+        whose mtime (the heartbeat) is older than ``lease_ttl`` is
+        removed and re-claimed.  Every race loses gracefully: a
+        contested reclaim moves on to the next chunk, and a chunk
+        completed between our existence check and our claim is
+        released immediately.
+        """
+        now = time.time()
+        for chunk in self.chunk_ids():
+            if os.path.exists(self.done_path(chunk)):
+                continue
+            claim_path = self.claim_path(chunk)
+            reclaimed = False
+            try:
+                fd = os.open(
+                    claim_path,
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                try:
+                    heartbeat = os.path.getmtime(claim_path)
+                except OSError:
+                    continue  # released under us; next pass retries
+                if now - heartbeat <= lease_ttl:
+                    continue  # live lease held elsewhere
+                try:
+                    os.remove(claim_path)
+                except FileNotFoundError:
+                    continue  # another worker reclaimed first
+                try:
+                    fd = os.open(
+                        claim_path,
+                        os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                    )
+                except FileExistsError:
+                    continue  # lost the reclaim race
+                reclaimed = True
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"worker": worker_id}, handle)
+            if os.path.exists(self.done_path(chunk)):
+                # Completed while we were claiming; release.
+                self._release(chunk)
+                continue
+            with open(
+                self.chunk_path(chunk), encoding="utf-8"
+            ) as handle:
+                indices = json.load(handle)["indices"]
+            return Lease(
+                chunk=chunk,
+                indices=list(indices),
+                worker=worker_id,
+                reclaimed=reclaimed,
+            )
+        return None
+
+    def heartbeat(self, lease: Lease) -> None:
+        """Refresh the lease's liveness stamp (claim-file mtime)."""
+        try:
+            os.utime(self.claim_path(lease.chunk), None)
+        except FileNotFoundError:
+            # Reclaimed from under us (we looked dead).  Keep going:
+            # store dedup makes the double execution idempotent.
+            pass
+
+    def complete(self, lease: Lease) -> None:
+        """Mark the chunk done and release the claim."""
+        try:
+            with open(
+                self.done_path(lease.chunk), "x", encoding="utf-8"
+            ) as handle:
+                json.dump({"worker": lease.worker}, handle)
+        except FileExistsError:
+            pass  # a reclaimer finished it first
+        self._release(lease.chunk)
+
+    def _release(self, chunk: str) -> None:
+        try:
+            os.remove(self.claim_path(chunk))
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def all_done(self) -> bool:
+        return all(
+            os.path.exists(self.done_path(chunk))
+            for chunk in self.chunk_ids()
+        )
+
+    def status(self) -> Dict[str, int]:
+        """Chunk counts by state (done / claimed / open)."""
+        done = claimed = opened = 0
+        for chunk in self.chunk_ids():
+            if os.path.exists(self.done_path(chunk)):
+                done += 1
+            elif os.path.exists(self.claim_path(chunk)):
+                claimed += 1
+            else:
+                opened += 1
+        return {
+            "chunks": done + claimed + opened,
+            "done": done,
+            "claimed": claimed,
+            "open": opened,
+        }
+
+
+def run_worker(
+    queue_dir: str,
+    store: Any,
+    spec: Optional[CampaignSpec] = None,
+    worker_id: Optional[str] = None,
+    lease_ttl: float = 60.0,
+    poll: float = 0.5,
+    max_chunks: Optional[int] = None,
+    on_record: Optional[Callable[[TrialRecord], None]] = None,
+) -> Dict[str, Any]:
+    """Drain the queue: claim chunks, run trials, write our shard.
+
+    Runs until every chunk is done (waiting out — and eventually
+    reclaiming — other workers' leases), or until ``max_chunks`` of our
+    own are finished.  ``spec`` defaults to the catalog campaign named
+    by the queue manifest; passing it explicitly supports ad-hoc specs
+    whose builders are registered in this process.  Each chunk starts
+    with a store cache check, so trials another worker (or a previous
+    life of this chunk's lease) already persisted are skipped — crash
+    recovery re-executes at most the one trial that was in flight.
+    """
+    queue = WorkQueue(queue_dir)
+    manifest = queue.manifest()
+    if manifest is None:
+        raise QueueError(
+            f"no campaign enqueued at {queue.root} "
+            f"(run 'repro campaign enqueue' first)"
+        )
+    if spec is None:
+        from repro.campaigns import campaign_definition
+
+        spec = campaign_definition(manifest["campaign"]).spec()
+    scale = manifest["scale"]
+    key = spec.spec_key(scale)
+    if key != manifest["spec_key"]:
+        raise QueueError(
+            f"spec key mismatch for campaign "
+            f"{manifest['campaign']!r} [{scale}]: queue has "
+            f"{manifest['spec_key'][:12]}…, this process computes "
+            f"{key[:12]}… — worker and enqueuer disagree about the "
+            f"campaign definition"
+        )
+    by_index = {plan.index: plan for plan in spec.trials_for(scale)}
+    worker = worker_id or default_worker_id()
+    stats: Dict[str, Any] = {
+        "worker": worker,
+        "chunks": 0,
+        "trials": 0,
+        "skipped": 0,
+        "reclaimed": 0,
+    }
+    while True:
+        lease = queue.claim(worker, lease_ttl=lease_ttl)
+        if lease is None:
+            if queue.all_done():
+                break
+            time.sleep(poll)
+            continue
+        if lease.reclaimed:
+            stats["reclaimed"] += 1
+        known = store.load(key)
+        for index in lease.indices:
+            plan = by_index[index]
+            if plan.case_key in known:
+                stats["skipped"] += 1
+                continue
+            record = run_trial(plan)
+            store.append(key, record, shard=worker)
+            stats["trials"] += 1
+            if on_record is not None:
+                on_record(record)
+            queue.heartbeat(lease)
+        queue.complete(lease)
+        stats["chunks"] += 1
+        if max_chunks is not None and stats["chunks"] >= max_chunks:
+            break
+    return stats
+
+
+def execute_campaign_queued(
+    spec: CampaignSpec,
+    scale: str = "quick",
+    policy: Optional[ExecutionPolicy] = None,
+    store: Optional[Any] = None,
+    reuse: bool = True,
+    instrumentation: Optional[Any] = None,
+    progress: Optional[Callable[[int, int, TrialRecord], None]] = None,
+) -> CampaignRun:
+    """Run ``spec`` through the work queue named by ``policy.queue``.
+
+    Enqueues the tier's pending (cache-missing) trials — unless the
+    queue already holds this campaign, e.g. pre-published with
+    ``repro campaign enqueue`` — then joins the queue as an in-process
+    worker alongside any external ``repro campaign worker`` processes,
+    and assembles the run from the shared store once every chunk is
+    done.  The record list, ordering, and cache accounting match the
+    pool path exactly.
+    """
+    policy = policy or ExecutionPolicy()
+    if policy.queue is None:
+        raise ValueError("execute_campaign_queued needs policy.queue")
+    if store is None:
+        raise ValueError(
+            "queue execution requires a result store: elastic workers "
+            "coordinate through it (pass store=/--store)"
+        )
+    if not reuse:
+        raise ValueError(
+            "queue execution always reuses the store (workers skip "
+            "persisted case keys); clear the store to force re-runs"
+        )
+    if instrumentation is not None and getattr(
+        instrumentation, "active", False
+    ):
+        raise ValueError(
+            "telemetry instrumentation is not supported in queue mode"
+        )
+    if policy.timeout is not None:
+        raise ValueError(
+            "per-trial timeouts are not supported in queue mode "
+            "(stale-lease reclaim bounds lost work instead)"
+        )
+
+    plans = spec.trials_for(scale)
+    key = spec.spec_key(scale)
+    known = store.load(key)
+    pending = [
+        plan for plan in plans if plan.case_key not in known
+    ]
+
+    queue = WorkQueue(policy.queue)
+    manifest = queue.manifest()
+    if manifest is None:
+        queue.enqueue(
+            spec, scale, plans=pending, chunk_size=policy.chunk_size
+        )
+    elif manifest["spec_key"] != key:
+        raise QueueError(
+            f"queue at {queue.root} holds campaign "
+            f"{manifest['campaign']!r} [{manifest['scale']}], not "
+            f"{spec.name!r} [{scale}]"
+        )
+
+    total = len(plans)
+    done = len(plans) - len(pending)
+
+    def on_record(record: TrialRecord) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, record)
+
+    run_worker(
+        policy.queue,
+        store,
+        spec=spec,
+        worker_id=policy.worker_id,
+        lease_ttl=policy.lease_ttl,
+        on_record=on_record,
+    )
+
+    final = store.load(key)
+    records: List[TrialRecord] = []
+    for plan in plans:
+        record = final.get(plan.case_key)
+        if record is None:
+            raise QueueError(
+                f"queue drained but case {plan.case_key[:12]}… of "
+                f"campaign {spec.name!r} [{scale}] is missing from "
+                f"the store — was a worker's shard deleted?"
+            )
+        records.append(
+            replace(
+                record,
+                index=plan.index,
+                cached=plan.case_key in known,
+            )
+        )
+    return CampaignRun(
+        spec=spec,
+        scale=scale,
+        records=records,
+        executed=len(pending),
+        cached=len(plans) - len(pending),
+    )

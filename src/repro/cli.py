@@ -19,7 +19,23 @@ Subcommands
 [--fresh] [--timeout S] [--csv out.csv]``
     Execute a campaign through the sweep engine — serially or on a
     process pool — replaying cached trials from the result store, then
-    print its table and execution summary.
+    print its table and execution summary.  ``--queue DIR`` switches
+    to elastic execution (enqueue chunk leases, join as one worker);
+    ``--adaptive --ci-width X`` replicates each grid cell until the
+    confidence interval on the headline metric is narrow enough
+    (see ``docs/SCALING.md``).
+``campaign enqueue E4 --queue DIR [--scale] [--chunk-size 4]
+[--store DIR]``
+    Publish a campaign's pending chunks to a work-queue directory for
+    detached workers.
+``campaign worker --queue DIR --store DIR [--worker-id W]
+[--lease-ttl 60] [--max-chunks N]``
+    Drain a work queue: claim chunk leases (reclaiming stale ones),
+    run trials, write this worker's store shard.
+``store list|merge|compact --store DIR [KEY ...] [--drop-corrupt]``
+    Result-store maintenance: show keys/shards, fold worker shards
+    into the base files (deduped by case key), drop superseded or
+    (with ``--drop-corrupt``) undecodable lines.
 ``scenarios list [--kind adversary|delay|topology|drift|churn]``
     Show the scenario registry: every adversary behaviour, delay
     policy, topology, drift profile, and churn (fault-schedule)
@@ -106,7 +122,9 @@ from repro.analysis import theory
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.build import UnknownBackendError, resolve_backend
 from repro.campaigns import (
+    CorruptStoreError,
     ExecutionPolicy,
+    QueueError,
     ResultStore,
     available_campaigns,
     campaign_definition,
@@ -248,6 +266,26 @@ def _command_campaign_show(args: argparse.Namespace) -> int:
 def _command_campaign_run(args: argparse.Namespace) -> int:
     if args.resume and not args.store:
         raise SystemExit("--resume requires --store")
+    if args.queue and not args.store:
+        raise SystemExit(
+            "--queue requires --store: elastic workers coordinate "
+            "through the shared result store"
+        )
+    if args.queue and args.fresh:
+        raise SystemExit(
+            "--fresh is incompatible with --queue (workers skip "
+            "persisted case keys); clear the store instead"
+        )
+    if args.adaptive and args.queue:
+        raise SystemExit(
+            "--adaptive is incompatible with --queue: the stopping "
+            "rule needs round barriers a detached worker fleet "
+            "cannot provide"
+        )
+    if args.adaptive and args.ci_width is None:
+        raise SystemExit("--adaptive requires --ci-width")
+    if args.ci_width is not None and not args.adaptive:
+        raise SystemExit("--ci-width only makes sense with --adaptive")
     definition = _campaign_or_exit(args.campaign)
     spec = definition.spec()
     if args.backend is not None:
@@ -268,11 +306,17 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
                 },
             )
     store = ResultStore(args.store) if args.store else None
-    policy = ExecutionPolicy(
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        timeout=args.timeout,
-    )
+    try:
+        policy = ExecutionPolicy(
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            timeout=args.timeout,
+            queue=args.queue,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     instrumentation = None
     if args.telemetry or args.profile:
         from repro.telemetry.campaign import InstrumentationPlan
@@ -289,15 +333,48 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         reporter = ProgressReporter(
             label=f"{spec.name}/{args.scale}"
         )
-    run = execute_campaign(
-        spec,
-        scale=args.scale,
-        policy=policy,
-        store=store,
-        reuse=not args.fresh,
-        instrumentation=instrumentation,
-        progress=reporter.update if reporter is not None else None,
-    )
+    progress = reporter.update if reporter is not None else None
+    try:
+        if args.adaptive:
+            from repro.campaigns.adaptive import (
+                AdaptivePolicy,
+                execute_adaptive_campaign,
+            )
+
+            if instrumentation is not None:
+                print(
+                    "note: per-trial instrumentation is not applied "
+                    "under --adaptive; the sidecar records the "
+                    "stopping-rule summary instead"
+                )
+            adaptive = AdaptivePolicy(
+                ci_width=args.ci_width,
+                metric=args.ci_metric,
+                confidence=args.ci_confidence,
+                min_trials=args.min_trials,
+                max_trials=args.max_trials,
+            )
+            run = execute_adaptive_campaign(
+                spec,
+                scale=args.scale,
+                adaptive=adaptive,
+                policy=policy,
+                store=store,
+                reuse=not args.fresh,
+                progress=progress,
+            )
+        else:
+            run = execute_campaign(
+                spec,
+                scale=args.scale,
+                policy=policy,
+                store=store,
+                reuse=not args.fresh,
+                instrumentation=instrumentation,
+                progress=progress,
+            )
+    except (ValueError, QueueError) as exc:
+        raise SystemExit(str(exc)) from None
     if reporter is not None:
         reporter.finish()
     table = definition.tabulate(run)
@@ -305,6 +382,14 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
     print()
     print(run_summary_table(run).render())
     print(run.summary() + f" (workers={policy.workers})")
+    if run.adaptive is not None:
+        a = run.adaptive
+        print(
+            f"adaptive[{a['metric']}]: {a['trials']} trials over "
+            f"{a['cells']} cells — saved {a['saved']} vs fixed "
+            f"{a['max_trials']}x replication ({a['converged']} "
+            f"converged, {a['exhausted']} at cap)"
+        )
     if args.perf:
         from repro.perf import campaign_throughput
 
@@ -369,6 +454,118 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         table.to_csv(args.csv)
         print(f"\nwrote {args.csv}")
     return exit_code
+
+
+def _command_campaign_enqueue(args: argparse.Namespace) -> int:
+    from repro.campaigns.queue import WorkQueue
+
+    definition = _campaign_or_exit(args.campaign)
+    spec = definition.spec()
+    plans = spec.trials_for(args.scale)
+    total = len(plans)
+    if args.store:
+        known = ResultStore(args.store).load(spec.spec_key(args.scale))
+        plans = [p for p in plans if p.case_key not in known]
+    queue = WorkQueue(args.queue)
+    try:
+        manifest = queue.enqueue(
+            spec, args.scale, plans=plans, chunk_size=args.chunk_size
+        )
+    except (QueueError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"enqueued campaign {spec.name} [{args.scale}]: "
+        f"{manifest['trials']}/{total} trials in "
+        f"{manifest['chunks']} chunks at {args.queue}"
+    )
+    print(f"spec key {manifest['spec_key']}")
+    print(
+        f"start workers with: repro campaign worker "
+        f"--queue {args.queue} --store DIR"
+    )
+    return 0
+
+
+def _command_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.campaigns.queue import run_worker
+
+    store = ResultStore(args.store)
+    try:
+        stats = run_worker(
+            args.queue,
+            store,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+            poll=args.poll,
+            max_chunks=args.max_chunks,
+        )
+    except (QueueError, KeyError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"worker {stats['worker']}: {stats['chunks']} chunks — "
+        f"{stats['trials']} trials executed, {stats['skipped']} "
+        f"skipped (cached), {stats['reclaimed']} leases reclaimed"
+    )
+    return 0
+
+
+def _store_keys_or_exit(store: ResultStore, keys: List[str]) -> List[str]:
+    if keys:
+        return keys
+    found = store.keys()
+    if not found:
+        raise SystemExit(f"no result stores under {store.root!r}")
+    return found
+
+
+def _command_store_list(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    for key in _store_keys_or_exit(store, args.keys):
+        try:
+            count = store.count(key)
+        except CorruptStoreError as exc:
+            print(f"{key}: CORRUPT — {exc}")
+            continue
+        shards = store.shards(key)
+        suffix = (
+            f" ({len(shards)} shard(s): {', '.join(shards)})"
+            if shards
+            else ""
+        )
+        print(f"{key}: {count} record(s){suffix}")
+    return 0
+
+
+def _command_store_merge(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    for key in _store_keys_or_exit(store, args.keys):
+        try:
+            result = store.merge(key)
+        except CorruptStoreError as exc:
+            raise SystemExit(str(exc)) from None
+        print(
+            f"{key}: merged {result['shards']} shard(s) into the "
+            f"base file — {result['records']} record(s), "
+            f"{result['dropped']} superseded line(s) dropped"
+        )
+    return 0
+
+
+def _command_store_compact(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    for key in _store_keys_or_exit(store, args.keys):
+        try:
+            result = store.compact(key, drop_corrupt=args.drop_corrupt)
+        except CorruptStoreError as exc:
+            raise SystemExit(
+                f"{exc}\n(re-run with --drop-corrupt to discard "
+                f"undecodable lines)"
+            ) from None
+        print(
+            f"{key}: compacted — {result['records']} record(s) kept, "
+            f"{result['dropped']} line(s) dropped"
+        )
+    return 0
 
 
 def _command_scenarios_list(args: argparse.Namespace) -> int:
@@ -1071,7 +1268,148 @@ def build_parser() -> argparse.ArgumentParser:
         help="print live heartbeats (trials done, rolling events/sec, "
         "ETA) to stderr",
     )
+    campaign_run_parser.add_argument(
+        "--queue",
+        help="run through a work-queue directory instead of a local "
+        "pool: enqueue pending chunks there (unless already "
+        "enqueued) and join as one worker alongside any external "
+        "'repro campaign worker' processes (requires --store)",
+    )
+    campaign_run_parser.add_argument(
+        "--worker-id", default=None,
+        help="store shard / lease owner name for queue mode "
+        "(default: host-pid)",
+    )
+    campaign_run_parser.add_argument(
+        "--lease-ttl", type=float, default=60.0,
+        help="seconds without a heartbeat before a queue chunk lease "
+        "is presumed dead and reclaimed (default 60)",
+    )
+    campaign_run_parser.add_argument(
+        "--adaptive", action="store_true",
+        help="per-cell adaptive sampling: replicate each grid cell "
+        "until the CI width target (--ci-width) is hit, bounded by "
+        "--max-trials",
+    )
+    campaign_run_parser.add_argument(
+        "--ci-width", type=float, default=None,
+        help="target confidence-interval width on the headline metric "
+        "(enables the adaptive stopping rule)",
+    )
+    campaign_run_parser.add_argument(
+        "--ci-metric", default="max_skew",
+        help="metric the stopping rule targets (default max_skew)",
+    )
+    campaign_run_parser.add_argument(
+        "--ci-confidence", type=float, default=0.95,
+        help="confidence level of the interval (default 0.95)",
+    )
+    campaign_run_parser.add_argument(
+        "--min-trials", type=int, default=3,
+        help="replicates per cell before the first width check "
+        "(default 3)",
+    )
+    campaign_run_parser.add_argument(
+        "--max-trials", type=int, default=8,
+        help="replicate cap per cell, converged or not (default 8)",
+    )
     campaign_run_parser.set_defaults(handler=_command_campaign_run)
+
+    enqueue_parser = campaign_sub.add_parser(
+        "enqueue",
+        help="publish a campaign's chunks to a work-queue directory",
+    )
+    enqueue_parser.add_argument("campaign", help="campaign id")
+    enqueue_parser.add_argument("--scale", default="quick")
+    enqueue_parser.add_argument(
+        "--queue", required=True,
+        help="work-queue directory (fresh per run; shared with every "
+        "worker)",
+    )
+    enqueue_parser.add_argument(
+        "--chunk-size", type=int, default=4,
+        help="trials per chunk lease",
+    )
+    enqueue_parser.add_argument(
+        "--store",
+        help="result-store directory; already-cached trials are not "
+        "enqueued",
+    )
+    enqueue_parser.set_defaults(handler=_command_campaign_enqueue)
+
+    worker_parser = campaign_sub.add_parser(
+        "worker",
+        help="drain a work queue: claim chunk leases, run trials, "
+        "write one store shard",
+    )
+    worker_parser.add_argument(
+        "--queue", required=True, help="work-queue directory"
+    )
+    worker_parser.add_argument(
+        "--store", required=True,
+        help="shared result-store directory (this worker writes its "
+        "own shard)",
+    )
+    worker_parser.add_argument(
+        "--worker-id", default=None,
+        help="shard / lease owner name (default: host-pid)",
+    )
+    worker_parser.add_argument(
+        "--lease-ttl", type=float, default=60.0,
+        help="seconds without a heartbeat before another worker's "
+        "lease is presumed dead and reclaimed (default 60)",
+    )
+    worker_parser.add_argument(
+        "--poll", type=float, default=0.5,
+        help="seconds between queue scans while waiting on other "
+        "workers' leases (default 0.5)",
+    )
+    worker_parser.add_argument(
+        "--max-chunks", type=int, default=None,
+        help="stop after completing this many chunks (default: drain "
+        "the queue)",
+    )
+    worker_parser.set_defaults(handler=_command_campaign_worker)
+
+    store_parser = sub.add_parser(
+        "store",
+        help="result-store maintenance (shards, merge, compact)",
+    )
+    store_sub = store_parser.add_subparsers(
+        dest="store_command", required=True
+    )
+
+    store_list_parser = store_sub.add_parser(
+        "list", help="list spec keys, record counts, and shards"
+    )
+    store_merge_parser = store_sub.add_parser(
+        "merge",
+        help="fold worker shards into each base file (deduped by "
+        "case key, idempotent)",
+    )
+    store_compact_parser = store_sub.add_parser(
+        "compact",
+        help="rewrite files without superseded duplicate lines",
+    )
+    for parser_ in (
+        store_list_parser, store_merge_parser, store_compact_parser
+    ):
+        parser_.add_argument(
+            "--store", required=True,
+            help="result-store directory",
+        )
+        parser_.add_argument(
+            "keys", nargs="*",
+            help="spec keys to operate on (default: every key)",
+        )
+    store_compact_parser.add_argument(
+        "--drop-corrupt", action="store_true",
+        help="discard undecodable interior lines instead of failing "
+        "(salvages a damaged store)",
+    )
+    store_list_parser.set_defaults(handler=_command_store_list)
+    store_merge_parser.set_defaults(handler=_command_store_merge)
+    store_compact_parser.set_defaults(handler=_command_store_compact)
 
     scenarios_parser = sub.add_parser(
         "scenarios",

@@ -117,7 +117,7 @@ def campaign_telemetry(run: CampaignRun) -> Dict[str, Any]:
             }
         )
         snapshots.append(snapshot)
-    return {
+    payload = {
         "campaign": run.spec.name,
         "scale": run.scale,
         "spec_key": run.spec.spec_key(run.scale),
@@ -127,6 +127,14 @@ def campaign_telemetry(run: CampaignRun) -> Dict[str, Any]:
         "aggregate": merge_snapshots(snapshots),
         "records": trials,
     }
+    if run.adaptive is not None:
+        # Only present on adaptive runs, so fixed-tier sidecars stay
+        # byte-identical; per_cell is dropped (it scales with the grid
+        # and duplicates what the store already holds).
+        payload["adaptive"] = {
+            k: v for k, v in run.adaptive.items() if k != "per_cell"
+        }
+    return payload
 
 
 def aggregate_payloads(

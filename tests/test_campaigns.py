@@ -658,3 +658,255 @@ class TestSweepShim:
                 left["outcome"].report.max_skew
                 == right["outcome"].report.max_skew
             )
+
+
+# ----------------------------------------------------------------------
+# Sharded store, corruption policy, policy validation, timeout
+# accounting (ISSUE 9 tentpole + satellite bugfixes)
+# ----------------------------------------------------------------------
+
+
+class TestShardedStore:
+    def test_shard_append_routes_to_shard_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("spec", _record(case_key="k1"), shard="w1")
+        store.append("spec", _record(case_key="k2"), shard="w2")
+        assert store.shards("spec") == ["w1", "w2"]
+        assert (tmp_path / "spec" / "w1.jsonl").exists()
+        assert not (tmp_path / "spec.jsonl").exists()
+        assert set(store.load("spec")) == {"k1", "k2"}
+
+    def test_constructor_shard_is_default_write_target(self, tmp_path):
+        store = ResultStore(tmp_path, shard="w9")
+        store.append("spec", _record())
+        assert store.shards("spec") == ["w9"]
+
+    def test_cross_shard_dedup_last_shard_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("spec", _record(metrics={"square": 1}))
+        store.append(
+            "spec", _record(metrics={"square": 2}), shard="a"
+        )
+        store.append(
+            "spec", _record(metrics={"square": 3}), shard="b"
+        )
+        # base first, then shards in sorted order: "b" wins.
+        assert store.load("spec")["k1"].metrics["square"] == 3
+        assert store.count("spec") == 1
+
+    def test_invalid_shard_name_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("../evil", "", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                store.append("spec", _record(), shard=bad)
+
+    def test_keys_sees_shard_only_specs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("only-sharded", _record(), shard="w1")
+        store.append("flat", _record())
+        assert store.keys() == ["flat", "only-sharded"]
+        store.clear()
+        assert store.keys() == []
+
+    def test_merge_folds_shards_and_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("spec", _record(case_key="k1"))
+        store.append(
+            "spec", _record(case_key="k1", metrics={"square": 7}),
+            shard="w1",
+        )
+        store.append("spec", _record(case_key="k2"), shard="w2")
+        result = store.merge("spec")
+        assert result == {"records": 2, "dropped": 1, "shards": 2}
+        assert store.shards("spec") == []
+        assert not (tmp_path / "spec").exists()
+        assert store.load("spec")["k1"].metrics["square"] == 7
+        first_bytes = (tmp_path / "spec.jsonl").read_bytes()
+        again = store.merge("spec")
+        assert again == {"records": 2, "dropped": 0, "shards": 0}
+        assert (tmp_path / "spec.jsonl").read_bytes() == first_bytes
+
+    def test_compact_drops_superseded_lines_per_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("spec", _record(metrics={"square": 1}))
+        store.append("spec", _record(metrics={"square": 2}))
+        store.append("spec", _record(case_key="k2"))
+        result = store.compact("spec")
+        assert result == {"records": 2, "dropped": 1}
+        lines = (tmp_path / "spec.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+
+
+class TestCorruptStore:
+    """Satellite bugfix: mid-file corruption must raise, not vanish."""
+
+    def test_interior_corruption_raises_with_file_and_line(
+        self, tmp_path
+    ):
+        from repro.campaigns import CorruptStoreError
+
+        store = ResultStore(tmp_path)
+        store.append("spec", _record(case_key="k1"))
+        with open(store.path_for("spec"), "a") as handle:
+            handle.write("{corrupt mid-file\n")
+        store.append("spec", _record(case_key="k2"))
+        with pytest.raises(CorruptStoreError) as excinfo:
+            store.load("spec")
+        assert store.path_for("spec") in str(excinfo.value)
+        assert ":2:" in str(excinfo.value)
+        assert excinfo.value.line == 2
+
+    def test_torn_tail_tolerated_per_shard(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("spec", _record(case_key="k1"), shard="w1")
+        with open(store.path_for("spec", "w1"), "a") as handle:
+            handle.write('{"campaign": "c", "trunc')
+        store.append("spec", _record(case_key="k2"), shard="w2")
+        assert set(store.load("spec")) == {"k1", "k2"}
+
+    def test_compact_drop_corrupt_salvages(self, tmp_path):
+        from repro.campaigns import CorruptStoreError
+
+        store = ResultStore(tmp_path)
+        store.append("spec", _record(case_key="k1"))
+        with open(store.path_for("spec"), "a") as handle:
+            handle.write("{corrupt mid-file\n")
+        store.append("spec", _record(case_key="k2"))
+        with pytest.raises(CorruptStoreError):
+            store.compact("spec")
+        result = store.compact("spec", drop_corrupt=True)
+        assert result["records"] == 2
+        assert set(store.load("spec")) == {"k1", "k2"}
+
+    def test_append_writes_full_line_in_one_write(self, tmp_path):
+        # The crash-safety contract: one write() call per record, so
+        # concurrent appenders cannot interleave partial lines.
+        import unittest.mock
+
+        store = ResultStore(tmp_path)
+        writes = []
+        real_open = open
+
+        def spying_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            real_write = handle.write
+
+            def spy(data):
+                writes.append(data)
+                return real_write(data)
+
+            handle.write = spy
+            return handle
+
+        with unittest.mock.patch(
+            "builtins.open", side_effect=spying_open
+        ):
+            store.append("spec", _record())
+        assert len(writes) == 1
+        assert writes[0].endswith("\n")
+
+
+class TestExecutionPolicyValidation:
+    """Satellite bugfix: bad policies fail loudly, not silently."""
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ExecutionPolicy(workers=0)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ExecutionPolicy(workers=-2)
+
+    def test_zero_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ExecutionPolicy(chunk_size=0)
+
+    def test_nonpositive_lease_ttl_rejected(self):
+        with pytest.raises(ValueError, match="lease_ttl"):
+            ExecutionPolicy(lease_ttl=0)
+
+    def test_serial_mode_warns_when_dropping_timeout(self):
+        from repro.campaigns import map_trials
+
+        with pytest.warns(RuntimeWarning, match="ignored in serial"):
+            results = map_trials(
+                lambda x: x + 1,
+                [1, 2],
+                ExecutionPolicy(workers=1, timeout=5.0),
+            )
+        assert results == [2, 3]
+
+    def test_serial_mode_without_timeout_does_not_warn(self):
+        import warnings as warnings_module
+
+        from repro.campaigns import map_trials
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert map_trials(lambda x: x, [1]) == [1]
+
+
+class TestTimeoutAccounting:
+    """Satellite bugfix: queue-wait must not be charged to the budget.
+
+    Regression shape: two hung chunks occupy both pool workers while an
+    innocent quick chunk waits in the queue.  The old accounting
+    started every chunk's clock when the *parent* reached it, so the
+    queued chunk was tabulated as timed out without ever running.
+    """
+
+    def test_innocent_queued_chunk_is_not_billed_for_a_hang(self):
+        spec = CampaignSpec(
+            name="hang-and-wait",
+            scenarios=(
+                ScenarioSpec(
+                    builder="test-sleep",
+                    cases={
+                        "*": (
+                            {"x": 1, "delay": 30.0},
+                            {"x": 2, "delay": 30.0},
+                            {"x": 3, "delay": 0.05},
+                        )
+                    },
+                ),
+            ),
+        )
+        start = time.perf_counter()
+        run = execute_campaign(
+            spec,
+            policy=ExecutionPolicy(
+                workers=2, chunk_size=1, timeout=0.5
+            ),
+        )
+        elapsed = time.perf_counter() - start
+        assert elapsed < 20.0
+        by_x = {r.case["x"]: r for r in run.records}
+        assert "TimeoutError" in by_x[1].error
+        assert "TimeoutError" in by_x[2].error
+        # The innocent chunk ran (in a fresh pool round) and succeeded.
+        assert by_x[3].ok, by_x[3].error
+        assert by_x[3].metrics == {"slept": True}
+        assert run.failed == 2
+
+    def test_late_chunk_gets_a_full_budget_not_free_time(self):
+        # Four slow-but-legal chunks through one effective lane: each
+        # runs ~0.15s against a 0.4s budget.  Wall-clock when they run
+        # serially is ~0.6s > budget; only execution time may count.
+        spec = CampaignSpec(
+            name="slow-queue",
+            scenarios=(
+                ScenarioSpec(
+                    builder="test-sleep",
+                    base={"delay": 0.15},
+                    axes={"*": {"x": (1, 2, 3, 4)}},
+                ),
+            ),
+        )
+        run = execute_campaign(
+            spec,
+            policy=ExecutionPolicy(
+                workers=2, chunk_size=2, timeout=0.4
+            ),
+        )
+        assert run.failed == 0
+        assert all(r.metrics == {"slept": True} for r in run.records)

@@ -393,3 +393,102 @@ class TestTelemetryCli:
     def test_show_requires_store_or_path(self):
         with pytest.raises(SystemExit, match="--store is required"):
             main(["telemetry", "show", "E4"])
+
+
+class TestScalingCli:
+    def test_queue_requires_store(self):
+        with pytest.raises(SystemExit, match="--queue requires"):
+            main(["campaign", "run", "E1", "--queue", "/tmp/q"])
+
+    def test_queue_rejects_fresh(self, tmp_path):
+        store = os.path.join(tmp_path, "store")
+        queue = os.path.join(tmp_path, "q")
+        args = ["campaign", "run", "E1", "--queue", queue]
+        with pytest.raises(SystemExit, match="incompatible"):
+            main(args + ["--store", store, "--fresh"])
+
+    def test_adaptive_requires_ci_width(self):
+        with pytest.raises(SystemExit, match="requires --ci-width"):
+            main(["campaign", "run", "E1", "--adaptive"])
+
+    def test_ci_width_requires_adaptive(self):
+        with pytest.raises(SystemExit, match="--adaptive"):
+            main(["campaign", "run", "E1", "--ci-width", "0.1"])
+
+    def test_workers_zero_is_rejected(self):
+        with pytest.raises(SystemExit, match="workers must be >= 1"):
+            main(["campaign", "run", "E1", "--workers", "0"])
+
+    def test_worker_without_enqueue_exits(self, tmp_path):
+        store = os.path.join(tmp_path, "store")
+        queue = os.path.join(tmp_path, "q")
+        args = ["campaign", "worker", "--queue", queue]
+        with pytest.raises(SystemExit, match="no campaign enqueued"):
+            main(args + ["--store", store])
+
+    def test_store_list_empty_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no result stores"):
+            main(["store", "list", "--store", str(tmp_path)])
+
+    def test_enqueue_worker_merge_round_trip(self, tmp_path, capsys):
+        store = os.path.join(tmp_path, "store")
+        queue = os.path.join(tmp_path, "q")
+        enqueue = ["campaign", "enqueue", "E1", "--queue", queue]
+        assert main(enqueue + ["--chunk-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "enqueued campaign E1 [quick]: 6/6 trials" in out
+        assert "3 chunks" in out
+        worker = ["campaign", "worker", "--queue", queue]
+        worker += ["--store", store, "--worker-id", "w1"]
+        assert main(worker) == 0
+        out = capsys.readouterr().out
+        assert "worker w1: 3 chunks — 6 trials executed" in out
+        assert main(["store", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "6 record(s) (1 shard(s): w1)" in out
+        assert main(["store", "merge", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "merged 1 shard(s)" in out
+        assert "6 record(s), 0 superseded" in out
+        # The merged store replays as a pure cache hit.
+        rerun = ["campaign", "run", "E1", "--store", store]
+        assert main(rerun + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 6 cached" in out
+
+    def test_enqueue_with_store_skips_cached(self, tmp_path, capsys):
+        store = os.path.join(tmp_path, "store")
+        queue = os.path.join(tmp_path, "q")
+        assert main(["campaign", "run", "E1", "--store", store]) == 0
+        capsys.readouterr()
+        enqueue = ["campaign", "enqueue", "E1", "--queue", queue]
+        assert main(enqueue + ["--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "0/6 trials in 0 chunks" in out
+
+    def test_reenqueue_same_queue_exits(self, tmp_path, capsys):
+        queue = os.path.join(tmp_path, "q")
+        enqueue = ["campaign", "enqueue", "E1", "--queue", queue]
+        assert main(enqueue) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="already has a campaign"):
+            main(enqueue)
+
+    def test_store_compact_reports_counts(self, tmp_path, capsys):
+        store = os.path.join(tmp_path, "store")
+        assert main(["campaign", "run", "E1", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "compact", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "compacted — 6 record(s) kept, 0 line(s) dropped" in out
+
+    def test_adaptive_run_prints_savings(self, tmp_path, capsys):
+        args = ["campaign", "run", "STRESS", "--adaptive"]
+        args += ["--ci-width", "1000"]
+        args += ["--min-trials", "2", "--max-trials", "4"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "adaptive[max_skew]: 12 trials over 6 cells" in out
+        assert "saved 12 vs fixed 4x replication" in out
+        assert "6 converged, 0 at cap" in out
+        assert "adaptive target: max_skew CI width <= 1000" in out
