@@ -232,10 +232,27 @@ COMMENTARY = {
         "throughput points are tracked by the `e9-vectorized-*` perf "
         "cases (`repro perf run --quick`).",
     ),
+    "ABLATION": (
+        "Protocol ablation engine — per-component importance",
+        "Campaign-native: every switchable CPS mechanism "
+        "(signatures, echo amplification, the TCB acceptance window, "
+        "the ⊥-aware discard, the Appendix A overlay translation, the "
+        "resync wrapper) is run on an engineered *challenge scenario* "
+        "twice — full protocol vs that one component removed — and "
+        "judged by the conformance monitors.  The headline result is "
+        "the **monitor-flip set**: which theorem bounds start failing "
+        "per removed component (all six components flip at least one "
+        "monitor; baselines all pass).  The committed artifact is "
+        "`results/ablation.json` (byte-stable; CI re-runs the matrix "
+        "and `git diff`s it), the generated catalog is "
+        "`docs/ABLATIONS.md`, and the surface is `repro ablate "
+        "plan|run|report` (pairwise interactions via `--pairwise`).",
+    ),
 }
 
 ORDER = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-         "A1", "A2", "A3", "STRESS", "CHURN-STRESS", "E9-SCALE"]
+         "A1", "A2", "A3", "STRESS", "CHURN-STRESS", "E9-SCALE",
+         "ABLATION"]
 
 HEADER = f"""# EXPERIMENTS — paper claims, grids, and scenarios
 

@@ -37,4 +37,5 @@ fi
 python -m pytest "${PYTEST_ARGS[@]}"
 if [[ "$FAST" -eq 0 ]]; then
   python benchmarks/generate_experiments_md.py --check
+  python benchmarks/generate_ablations_md.py --check
 fi

@@ -1,0 +1,203 @@
+"""The ablation catalog: every CPS mechanism the engine can switch off.
+
+Each :class:`AblationComponent` names one protocol mechanism, the
+validated *off*-behaviour the simulator substitutes (see
+:mod:`repro.build` for the wiring), the paper guarantee the mechanism
+carries, and — the part that makes the ablation *informative* rather
+than decorative — a **challenge case**: a registry-keyed scenario under
+which the full protocol provably holds its bounds while the ablated
+protocol measurably breaks at least one conformance monitor.
+
+The challenge cases are the result of adversary engineering, not
+guesswork; each docstring-style ``paper_ref`` records the argument:
+
+* ``signatures`` — a forging impersonator signs ``<r>`` with its own
+  key while claiming honest dealers as senders.  Real verification
+  drops the forgery at every receiver; trust-all verification lets the
+  forged echo land inside the ``d - 2u`` guard interval, ⊥-ing every
+  honest dealer (Theorem 5's unforgeability assumption, weaponized).
+* ``echo-amplification`` — staggered mimic dealers present different
+  timings to the two receiver halves.  With relaying on, the fast
+  half's echoes reach the slow half before its acceptances finalize
+  and the inconsistent copies are rejected; without relaying both
+  survive, violating the Lemma 13 consistency window.
+* ``tcb-filter`` — no adversary needed: a silent dealer's instance can
+  only resolve to ⊥ *because* the acceptance window times out.
+  Without the window there is no timeout, rounds never complete, and
+  per-round termination (what the window buys) fails as liveness.
+* ``apa`` — predictively-timed broadcasts arrive just after half the
+  receivers' pulses, decoding to consistent extreme-negative offset
+  estimates that only the ⊥-aware ``f - b`` discard absorbs.  The
+  single-shot vote averages them in, dragging the targeted half away
+  from the rest (the Figure 3 discard's breaking case).
+* ``overlay`` — a sparse graph with the Appendix A translation
+  removed: the protocol runs with base-model parameters while the
+  network keeps the overlay's longer effective delays, so honest
+  estimates carry error the skew bound never budgeted for.
+* ``resync`` — a crash-recover wave with the listen-then-join wrapper
+  removed: recovering nodes rejoin cold at round 1 and never contract
+  back into the stable cohort's envelope (Lemma 16 has nothing to
+  contract *from*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.checks.conformance import CPS_BASE_CASE, TOPOLOGY_N
+
+#: Pulses for churn-mode challenge rows (matches the conformance
+#: engine's quick churn tier: every scheduled event must fire and the
+#: rejoiner needs room to catch up).  Carried in the case dict so the
+#: content hash pins it independently of the measurement tier.
+CHURN_CHALLENGE_PULSES = 14
+
+
+@dataclass(frozen=True)
+class AblationComponent:
+    """One switchable protocol mechanism and its breaking scenario."""
+
+    name: str
+    mechanism: str
+    off_behavior: str
+    paper_ref: str
+    challenge: Mapping[str, Any] = field(default_factory=dict)
+    #: Which conformance check set judges the challenge: ``"cps"``
+    #: (Theorem 17 / Lemma 11 monitors) or ``"churn"`` (stabilization).
+    mode: str = "cps"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cps", "churn"):
+            raise ValueError(
+                f"mode must be 'cps' or 'churn', got {self.mode!r}"
+            )
+        if "ablate" in self.challenge:
+            raise ValueError(
+                "challenge cases must not carry 'ablate'; the plan "
+                "generator adds it"
+            )
+
+    def baseline_case(self) -> Dict[str, Any]:
+        """The challenge scenario with the full protocol."""
+        return dict(self.challenge)
+
+    def ablated_case(self) -> Dict[str, Any]:
+        """The challenge scenario with this component switched off."""
+        case = dict(self.challenge)
+        case["ablate"] = [self.name]
+        return case
+
+
+def _cps_challenge(**overrides: Any) -> Dict[str, Any]:
+    case = dict(CPS_BASE_CASE)
+    case.update(overrides)
+    return case
+
+
+#: The catalog, sorted by component name (the canonical order every
+#: plan, report, and document uses).
+COMPONENTS: Tuple[AblationComponent, ...] = (
+    AblationComponent(
+        name="apa",
+        mechanism="⊥-aware approximate agreement (f - b discard)",
+        off_behavior=(
+            "single-shot vote: the midpoint of every non-⊥ estimate, "
+            "no discarding at all"
+        ),
+        paper_ref=(
+            "Figure 3 / Theorem 9: discarding f - b extremes per side "
+            "is what absorbs f coordinated extreme estimates"
+        ),
+        challenge=_cps_challenge(adversary="early-extreme"),
+    ),
+    AblationComponent(
+        name="echo-amplification",
+        mechanism="TCB echo relay (forward every acceptance)",
+        off_behavior=(
+            "direct relay only: acceptances are never echoed, so "
+            "cross-receiver evidence of inconsistent dealer timing "
+            "never circulates"
+        ),
+        paper_ref=(
+            "Figure 2 / Lemma 13: the echo is what makes a dealer's "
+            "timing a *crusader* broadcast"
+        ),
+        challenge=_cps_challenge(
+            adversary="mimic-split",
+            adversary_params={"stagger": 0.07},
+        ),
+    ),
+    AblationComponent(
+        name="overlay",
+        mechanism="Appendix A sparse-graph parameter translation",
+        off_behavior=(
+            "base-model parameters on the overlay network: the "
+            "protocol budgets for (d, u) while messages really "
+            "traverse (d_eff, u_eff) multi-hop paths"
+        ),
+        paper_ref=(
+            "Appendix A: f + 1 vertex-disjoint paths give effective "
+            "delay bounds the derived parameters must use"
+        ),
+        challenge={
+            "n": TOPOLOGY_N,
+            "theta": 1.001,
+            "d": 1.0,
+            "u": 0.02,
+            "topology": "circulant",
+            "adversary": "silent",
+            "delay": "maximum",
+            "drift": "extreme",
+        },
+    ),
+    AblationComponent(
+        name="resync",
+        mechanism="listen-then-join resynchronization wrapper",
+        off_behavior=(
+            "cold join: recovering nodes restart at round 1 with no "
+            "median-vote phase estimate"
+        ),
+        paper_ref=(
+            "Section 6 / Lemma 16: convergence contracts an existing "
+            "estimate — a cold joiner has none"
+        ),
+        challenge={
+            **_cps_challenge(),
+            "churn": "crash-recover-wave",
+            "pulses": CHURN_CHALLENGE_PULSES,
+        },
+        mode="churn",
+    ),
+    AblationComponent(
+        name="signatures",
+        mechanism="signature verification on every TCB message",
+        off_behavior=(
+            "trust-all verify: any message claiming dealer u is "
+            "treated as validly signed by u"
+        ),
+        paper_ref=(
+            "Theorem 5: unforgeability is the assumption; forged "
+            "echoes inside the d - 2u guard ⊥ every honest dealer"
+        ),
+        challenge=_cps_challenge(adversary="forging-impersonator"),
+    ),
+    AblationComponent(
+        name="tcb-filter",
+        mechanism="TCB acceptance window (timeout to ⊥)",
+        off_behavior=(
+            "accept-all window: direct messages accepted at any local "
+            "time and silent dealers never time out to ⊥"
+        ),
+        paper_ref=(
+            "Figure 2 / Lemma 10: the window bounds acceptance times "
+            "*and* is the only path to per-round termination under "
+            "silent faults"
+        ),
+        challenge=_cps_challenge(),
+    ),
+)
+
+COMPONENT_INDEX: Dict[str, AblationComponent] = {
+    component.name: component for component in COMPONENTS
+}

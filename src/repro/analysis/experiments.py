@@ -18,6 +18,13 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict
 
+from repro.ablation import (
+    AblationSpec,
+    ablation_campaign_spec,
+    ablation_report,
+    ablation_table,
+    render_ablation_table,
+)
 from repro.analysis import metrics, theory
 from repro.analysis.reporting import Table
 from repro.analysis.runner import run_pulse_trial
@@ -1459,6 +1466,18 @@ def e9_scale_study(scale: str = "quick") -> Table:
     )
 
 
+def ablation_matrix(scale: str = "quick") -> Table:
+    """Per-component ablation importance (see :mod:`repro.ablation`).
+
+    Executes the baseline-plus-one-off challenge matrix and renders the
+    monitor-flip table; ``repro ablate run`` is the full surface
+    (stores, pools, adaptive replication, the committed JSON artifact).
+    """
+    spec = AblationSpec()
+    run = execute_campaign(ablation_campaign_spec(spec), scale=scale)
+    return render_ablation_table(ablation_report(spec, run))
+
+
 # ======================================================================
 # Registry
 # ======================================================================
@@ -1481,6 +1500,7 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "STRESS": stress_scenarios,
     "CHURN-STRESS": churn_scenarios,
     "FUZZ": fuzz_scenarios,
+    "ABLATION": ablation_matrix,
 }
 
 
@@ -1519,5 +1539,6 @@ CAMPAIGN_PORTS = tuple(
         (churn_campaign, churn_table),
         (fuzz_campaign, fuzz_table),
         (e9_scale_campaign, e9_scale_table),
+        (ablation_campaign_spec, ablation_table),
     )
 )

@@ -52,9 +52,29 @@ BACKENDS: Tuple[str, ...] = ("event", "vectorized")
 #: The backend implied everywhere a backend is not named.
 DEFAULT_BACKEND = "event"
 
+#: The CPS mechanisms the ablation engine can switch off, sorted.
+#: Each name maps to a validated off-behaviour (see
+#: :mod:`repro.ablation` for the catalog with descriptions):
+#: ``apa`` → single-shot vote, ``echo-amplification`` → direct relay,
+#: ``overlay`` → base-model parameters on the overlay network,
+#: ``resync`` → cold join, ``signatures`` → trust-all verify,
+#: ``tcb-filter`` → accept-all window.
+ABLATABLE_COMPONENTS: Tuple[str, ...] = (
+    "apa",
+    "echo-amplification",
+    "overlay",
+    "resync",
+    "signatures",
+    "tcb-filter",
+)
+
 
 class UnknownBackendError(ValueError):
     """An unregistered backend name, with a did-you-mean hint."""
+
+
+class UnknownComponentError(ValueError):
+    """An unregistered ablation component, with a did-you-mean hint."""
 
 
 def resolve_backend(name: Optional[str]) -> str:
@@ -64,12 +84,54 @@ def resolve_backend(name: Optional[str]) -> str:
     if name in BACKENDS:
         return name
     hint = ""
-    close = difflib.get_close_matches(name, BACKENDS, n=1)
-    if close:
-        hint = f" — did you mean {close[0]!r}?"
+    if name in ABLATABLE_COMPONENTS:
+        hint = (
+            f" — {name!r} is an ablation component, not a backend "
+            f"(see 'repro ablate')"
+        )
+    else:
+        close = difflib.get_close_matches(
+            name, BACKENDS + ABLATABLE_COMPONENTS, n=1
+        )
+        if close and close[0] in BACKENDS:
+            hint = f" — did you mean {close[0]!r}?"
+        elif close:
+            hint = (
+                f" — did you mean the ablation component {close[0]!r}? "
+                f"(see 'repro ablate')"
+            )
     raise UnknownBackendError(
         f"unknown backend {name!r}{hint} (available: {list(BACKENDS)})"
     )
+
+
+def resolve_ablation(names: Any) -> Tuple[str, ...]:
+    """Validate a collection of ablation component names.
+
+    Returns the names deduplicated and sorted (the canonical order all
+    content-addressed case hashes use).  Unknown names raise
+    :class:`UnknownComponentError` with a did-you-mean hint.
+    """
+    if names is None:
+        return ()
+    if isinstance(names, str):
+        names = (names,)
+    resolved = []
+    for name in names:
+        if name not in ABLATABLE_COMPONENTS:
+            hint = ""
+            close = difflib.get_close_matches(
+                name, ABLATABLE_COMPONENTS, n=1
+            )
+            if close:
+                hint = f" — did you mean {close[0]!r}?"
+            raise UnknownComponentError(
+                f"unknown ablation component {name!r}{hint} "
+                f"(available: {list(ABLATABLE_COMPONENTS)})"
+            )
+        if name not in resolved:
+            resolved.append(name)
+    return tuple(sorted(resolved))
 
 
 @dataclass(frozen=True)
@@ -97,13 +159,28 @@ class BuiltSimulation:
 
 def _case_parameters(
     case: Dict[str, Any],
-) -> Tuple[ProtocolParameters, int, Dict[str, float]]:
-    """Derive protocol parameters (Appendix A overlay when asked)."""
+    ablate: Tuple[str, ...] = (),
+) -> Tuple[
+    ProtocolParameters,
+    int,
+    Dict[str, float],
+    Optional[Tuple[float, float]],
+]:
+    """Derive protocol parameters (Appendix A overlay when asked).
+
+    The fourth return value is a ``(d, u)`` network-timing override, or
+    ``None``.  It is only non-``None`` for the ``overlay`` ablation:
+    the protocol is parameterized for the *base* model (as if the graph
+    were a clique with the raw ``d``/``u``) while the network keeps the
+    overlay's real effective delays — exactly the mismatch Appendix A's
+    translation exists to prevent.
+    """
     n = case["n"]
     theta = case.get("theta", 1.001)
     d = case.get("d", 1.0)
     u = case.get("u", 0.01)
     topology_key = case.get("topology")
+    network_timing: Optional[Tuple[float, float]] = None
     if topology_key is not None:
         graph = scenarios.create(
             "topology", topology_key, n,
@@ -116,13 +193,17 @@ def _case_parameters(
         overlay = simulate_full_connectivity(
             graph, uniform_timings(graph, d, u), f, theta=theta
         )
-        params = overlay.derive_parameters(theta)
         effective = {"d_eff": overlay.d_eff, "u_eff": overlay.u_eff}
+        if "overlay" in ablate:
+            params = derive_parameters(theta, d, u, n, f=f)
+            network_timing = (overlay.d_eff, overlay.u_eff)
+        else:
+            params = overlay.derive_parameters(theta)
     else:
         params = derive_parameters(theta, d, u, n, f=case.get("f"))
         f = params.f
         effective = {"d_eff": d, "u_eff": u}
-    return params, f, effective
+    return params, f, effective, network_timing
 
 
 def build_simulation(
@@ -149,6 +230,11 @@ def build_simulation(
     overrides the faulty-link uncertainty (experiment E8's
     model-violation regime when ``u_tilde > u``).
 
+    An optional ``ablate`` key lists protocol components to switch
+    *off* (see :data:`ABLATABLE_COMPONENTS` and :mod:`repro.ablation`);
+    unknown names raise :class:`UnknownComponentError`.  Ablations are
+    event-backend only.
+
     ``backend`` selects the engine; resolution failures raise
     :class:`UnknownBackendError` and scenarios outside the vectorized
     backend's support raise
@@ -159,7 +245,8 @@ def build_simulation(
     """
     backend = resolve_backend(backend)
     n = case["n"]
-    params, f, effective = _case_parameters(case)
+    ablate = resolve_ablation(case.get("ablate"))
+    params, f, effective, network_timing = _case_parameters(case, ablate)
     adversary_key = case.get("adversary", "silent")
     # Resolve through the registry first so typos keep their
     # did-you-mean behaviour on every backend.
@@ -179,6 +266,11 @@ def build_simulation(
             VectorizedSimulation,
         )
 
+        if ablate:
+            raise UnsupportedScenarioError(
+                "the vectorized backend does not support ablated "
+                "protocol components; use backend='event'"
+            )
         if dynamics is not None or churn_key is not None:
             raise UnsupportedScenarioError(
                 "the vectorized backend does not support membership "
@@ -206,7 +298,12 @@ def build_simulation(
         schedule = scenarios.create(
             "churn", churn_key, params, **case.get("churn_params", {})
         )
-        dynamics = ChurnController(schedule, params)
+        # resync=off ablation: restart recovering/joining nodes cold
+        # (round 1, no listen-then-join median vote) by withholding the
+        # parameters the controller needs to wrap restarts in
+        # ResyncProtocol.
+        resync_params = None if "resync" in ablate else params
+        dynamics = ChurnController(schedule, resync_params)
         faulty = schedule.initially_corrupted(n)
     else:
         faulty = list(range(n - f, n)) if f else []
@@ -214,6 +311,15 @@ def build_simulation(
         "adversary", adversary_key, params,
         **case.get("adversary_params", {})
     )
+    node_kwargs: Dict[str, Any] = {}
+    if "signatures" in ablate:
+        node_kwargs["verify_signatures"] = False
+    if "echo-amplification" in ablate:
+        node_kwargs["relay_echo"] = False
+    if "tcb-filter" in ablate:
+        node_kwargs["window_filter"] = False
+    if "apa" in ablate:
+        node_kwargs["discard_rule"] = "none"
     simulation = assemble_cps_simulation(
         params,
         clocks=clocks,
@@ -225,5 +331,7 @@ def build_simulation(
         trace=trace,
         checks=checks,
         dynamics=dynamics,
+        network_timing=network_timing,
+        **node_kwargs,
     )
     return BuiltSimulation(simulation, params, f, effective, backend)

@@ -583,3 +583,75 @@ def cps_stress_trial(
         "events": _events_of(outcome),
         **effective,
     }
+
+
+@register_builder("cps-ablation")
+def cps_ablation_trial(
+    case: Dict[str, Any], measurement: MeasurementSpec, seed: int
+) -> Dict[str, Any]:
+    """One ablation-matrix cell: a challenge run judged by monitors.
+
+    The case follows :func:`repro.build.build_simulation` conventions
+    plus the optional ``ablate`` key (components switched off) and an
+    optional ``pulses`` override (churn challenges need the longer
+    conformance-tier run regardless of the measurement tier).  The row
+    is the per-monitor verdict map of the applicable conformance check
+    set (:func:`~repro.checks.conformance.cps_check_set`, or the
+    stabilization set for churn-keyed cases) plus skew metrics — what
+    the importance reporter diffs between baseline and ablated cells.
+
+    Ablated runs are *expected* to violate bounds; a failing monitor is
+    a metric here, never a trial error.  A deadlocked run (the
+    ``tcb-filter`` ablation stalls every round on a silent dealer) also
+    tabulates: the event queue drains, progress fails, and skews over
+    the too-few pulses come back as ``inf``.
+    """
+    from repro.build import build_simulation
+    from repro.checks.conformance import (
+        cps_check_set,
+        churn_check_set,
+    )
+    from repro.sim.errors import ConfigurationError
+
+    pulses = int(case.get("pulses", measurement.pulses))
+    simulation, params, f, effective = build_simulation(
+        case,
+        backend=measurement.backend,
+        seed=seed,
+        trace=measurement.trace,
+    ).legacy_tuple()
+    if case.get("churn") is not None:
+        checks = churn_check_set(
+            simulation.dynamics.schedule, params
+        )
+    else:
+        checks = cps_check_set(params, simulation.honest, pulses)
+    simulation.attach_checks(checks)
+    result = simulation.run(max_pulses=pulses)
+    verdicts = checks.finish()
+    honest_pulses = {
+        v: result.pulses[v]
+        for v in simulation.honest
+        if result.pulses[v]
+    }
+    try:
+        measured = metrics.max_skew(
+            honest_pulses, skip=measurement.warmup
+        )
+    except ConfigurationError:
+        measured = float("inf")
+    return {
+        "f": f,
+        "pulses": pulses,
+        "live": all(
+            len(result.pulses[v]) >= pulses for v in simulation.honest
+        ),
+        "max_skew": measured,
+        "bound_S": params.S,
+        "monitors": {v.monitor: v.ok for v in verdicts},
+        "violations": {
+            v.monitor: len(v.violations) for v in verdicts
+        },
+        "events": result.events_processed,
+        **effective,
+    }

@@ -128,17 +128,29 @@ class CpsEquivocatingSubsetAttack(ByzantineBehavior):
     direct dealer message and outputs ⊥ (Figure 2's timeout/echo rules).
     This maximizes the *asymmetry* of ⊥ outputs across honest nodes, the
     scenario Lemmas 7/8 exist for.
+
+    ``lateness`` delays the subset's copies by that much extra real
+    time (still inside the Figure 2 acceptance window for lateness up
+    to ``~S``): the addressed subset then computes a *late extreme*
+    estimate the excluded half never sees.  The ⊥-aware ``f - b``
+    discard absorbs the extremes; the ``apa=off`` single-shot vote
+    does not, and the subsets drift apart.
     """
 
-    def __init__(self, params: ProtocolParameters) -> None:
+    def __init__(
+        self, params: ProtocolParameters, lateness: float = 0.0
+    ) -> None:
         self.params = params
+        self.lateness = lateness
         self._scheduled_rounds: Set[int] = set()
 
     def on_pulse(self, ctx, node: int, index: int, time: float) -> None:
         if index in self._scheduled_rounds:
             return
         self._scheduled_rounds.add(index)
-        ctx.wake_at(time + self.params.S, ("subset-send", index))
+        ctx.wake_at(
+            time + self.params.S + self.lateness, ("subset-send", index)
+        )
 
     def on_wakeup(self, ctx, tag) -> None:
         if not (isinstance(tag, tuple) and tag[0] == "subset-send"):
@@ -154,6 +166,8 @@ class CpsEquivocatingSubsetAttack(ByzantineBehavior):
                 ctx.send_from(src, dst, message, ctx.config.d)
 
     def describe(self) -> str:
+        if self.lateness:
+            return f"equivocating-subset(lateness={self.lateness})"
         return "equivocating-subset"
 
 
@@ -291,6 +305,131 @@ class CpsCoordinatedOffsetAttack(ByzantineBehavior):
             f"coordinated-offset({flavor}, "
             f"fraction={self.offset_fraction})"
         )
+
+
+class CpsEarlyExtremeAttack(ByzantineBehavior):
+    """Predictively timed broadcasts that land just after each pulse.
+
+    An ``<r>`` message accepted a *small* local-time gap after the
+    receiver's pulse decodes (Lemma 12) to an extreme negative offset
+    estimate ``≈ -(d + S)`` — the dealer looks almost a full delay
+    bound *ahead*.  Honest dealers can never produce such an arrival
+    (their broadcasts travel a real delay in ``[d-u, d]``), so the only
+    way to land there is to *send before the receiver's pulse*: the
+    attack observes each round's first honest pulse, extrapolates the
+    next round's pulse times by the nominal period ``T``, and times one
+    broadcast per faulty dealer to arrive ``margin`` after the
+    predicted first pulse — inside every acceptance window, near its
+    origin.
+
+    Only the even-id half of the honest nodes is addressed, so the
+    drag is *asymmetric*: the addressed half is yanked a half-delay
+    early every round while the excluded half (which just times the
+    dealer out to ⊥) keeps the nominal period.  All delivered copies
+    arrive at one real instant, so acceptances are mutually consistent
+    (Lemma 11 sees nothing) and no echo-rejection fires.  The defense
+    is the APA vote itself: with ``b = 0`` the ``f - b`` discard drops
+    exactly these ``f`` coordinated extremes, and with ``b = f`` the
+    excluded half discards nothing it needs to.  The ``apa=off``
+    single-shot vote averages the extremes in, and the two halves
+    drift apart.
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        margin: Optional[float] = None,
+    ) -> None:
+        self.params = params
+        # Arrival lands this much real time after the predicted first
+        # pulse of the round: > S so every honest node has pulsed, yet
+        # far below d so the estimate stays extreme.
+        self.margin = 2.0 * params.S if margin is None else margin
+        self._seen_rounds: Set[int] = set()
+
+    def on_pulse(self, ctx, node: int, index: int, time: float) -> None:
+        if index in self._seen_rounds:
+            return
+        self._seen_rounds.add(index)
+        low, _high = ctx.config.delay_bounds(False)
+        wake = time + self.params.T + self.margin - low
+        if wake > ctx.now:
+            ctx.wake_at(wake, ("early-send", index + 1))
+
+    def on_wakeup(self, ctx, tag) -> None:
+        if not (isinstance(tag, tuple) and tag[0] == "early-send"):
+            return
+        pulse_round = tag[1]
+        low, _high = ctx.config.delay_bounds(False)
+        targets = [v for v in ctx.honest if v % 2 == 0]
+        for src in sorted(ctx.faulty):
+            message = TcbMessage(
+                pulse_round, src, ctx.sign_as(src, tcb_tag(pulse_round))
+            )
+            for dst in targets:
+                ctx.send_from(src, dst, message, low)
+
+    def describe(self) -> str:
+        return f"early-extreme(margin={self.margin})"
+
+
+class CpsForgingImpersonatorAttack(ByzantineBehavior):
+    """Forge ``<r>`` messages in honest dealers' names.
+
+    Every faulty node signs ``<r>`` with its *own* key but claims an
+    honest dealer as the sender, delivering the forgery to every honest
+    receiver at the minimum delay around the time real round-``r``
+    traffic flows.  Under the paper's model this is the canonical
+    no-op: :meth:`TcbMessage.is_valid` verifies the signature against
+    the claimed dealer, so honest nodes drop the forgery on arrival
+    (and the simulator's knowledge guard is satisfied, because the
+    payload carries only the forger's own signature).
+
+    With signature verification ablated (``signatures=off`` — the
+    trust-all verify), the forgery lands as an *echo* (sender is not
+    the claimed dealer) inside the Figure 2 guard interval, so the
+    echo-rejection rule forces honest receivers to ⊥ the *honest*
+    dealer — which is precisely why the construction needs signatures
+    at all (Theorem 5's unforgeability assumption).
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        rounds: Optional[int] = None,
+    ) -> None:
+        self.params = params
+        # None = forge every round; an int bounds the attack's length.
+        self.rounds = rounds
+        self._scheduled_rounds: Set[int] = set()
+
+    def on_pulse(self, ctx, node: int, index: int, time: float) -> None:
+        if index in self._scheduled_rounds:
+            return
+        if self.rounds is not None and index > self.rounds:
+            return
+        self._scheduled_rounds.add(index)
+        # Launch alongside the honest dealer broadcasts: the forgery
+        # must arrive inside the victims' acceptance windows, early
+        # enough to precede each real acceptance's finalize deadline.
+        ctx.wake_at(time + self.params.S, ("forge-send", index))
+
+    def on_wakeup(self, ctx, tag) -> None:
+        if not (isinstance(tag, tuple) and tag[0] == "forge-send"):
+            return
+        pulse_round = tag[1]
+        low, _high = ctx.config.delay_bounds(False)
+        for src in sorted(ctx.faulty):
+            signature = ctx.sign_as(src, tcb_tag(pulse_round))
+            for victim in ctx.honest:
+                forged = TcbMessage(pulse_round, victim, signature)
+                for dst in ctx.honest:
+                    if dst != victim:
+                        ctx.send_from(src, dst, forged, low)
+
+    def describe(self) -> str:
+        bound = "all" if self.rounds is None else self.rounds
+        return f"forging-impersonator(rounds={bound})"
 
 
 def cps_attack_catalog(

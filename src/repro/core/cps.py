@@ -66,10 +66,14 @@ class CpsNode(TimedProtocol):
         dealer_send_offset: Optional[float] = None,
         start_local: Optional[float] = None,
         start_round: Optional[int] = None,
+        verify_signatures: bool = True,
+        relay_echo: bool = True,
+        window_filter: bool = True,
     ) -> None:
-        if discard_rule not in ("f-b", "f"):
+        if discard_rule not in ("f-b", "f", "none"):
             raise ConfigurationError(
-                f"discard_rule must be 'f-b' or 'f', got {discard_rule!r}"
+                f"discard_rule must be 'f-b', 'f', or 'none', "
+                f"got {discard_rule!r}"
             )
         self.params = params
         # First-pulse phase and round number; None = the Figure 3
@@ -82,6 +86,12 @@ class CpsNode(TimedProtocol):
         self.start_round = start_round
         self.echo_rejection = echo_rejection
         self.discard_rule = discard_rule
+        # Ablation toggles (see repro.ablation): trust-all signature
+        # verification, direct relay (no echo amplification), and the
+        # accept-all window (no TCB filtering).
+        self.verify_signatures = verify_signatures
+        self.relay_echo = relay_echo
+        self.window_filter = window_filter
         self.dealer_send_offset = (
             params.dealer_send_offset
             if dealer_send_offset is None
@@ -134,7 +144,7 @@ class CpsNode(TimedProtocol):
             # Early (pre-pulse) and stale receptions fall outside every
             # open window of Figure 2 and are ignored.
             return
-        if not payload.is_valid():
+        if self.verify_signatures and not payload.is_valid():
             return
         dealer = payload.dealer
         if dealer == api.node_id:
@@ -147,7 +157,7 @@ class CpsNode(TimedProtocol):
             actions = instance.on_direct(local)
         else:
             actions = instance.on_echo(local)
-        if actions.echo:
+        if actions.echo and self.relay_echo:
             api.broadcast(payload)
         if actions.set_finalize_timer is not None:
             api.set_timer(
@@ -182,6 +192,7 @@ class CpsNode(TimedProtocol):
                 window=self.params.tcb_window,
                 finalize_wait=self.params.tcb_finalize_wait,
                 echo_rejection=self.echo_rejection,
+                window_filter=self.window_filter,
             )
             for w in range(api.n)
             if w != api.node_id
@@ -214,10 +225,15 @@ class CpsNode(TimedProtocol):
                 )
         non_bot = [v for v in estimates.values() if v is not BOT]
         num_bot = api.n - len(non_bot)
-        effective_bot = num_bot if self.discard_rule == "f-b" else 0
-        correction, interval = midpoint_rule(
-            non_bot, effective_bot, self.params.f
-        )
+        if self.discard_rule == "none":
+            # apa=off ablation: single-shot vote — no ⊥-aware
+            # discarding at all, the raw midpoint of every estimate.
+            correction, interval = midpoint_rule(non_bot, 0, 0)
+        else:
+            effective_bot = num_bot if self.discard_rule == "f-b" else 0
+            correction, interval = midpoint_rule(
+                non_bot, effective_bot, self.params.f
+            )
         summary = CpsRoundSummary(
             pulse_round=self.pulse_round,
             pulse_local=self.pulse_local,
@@ -294,6 +310,7 @@ def assemble_cps_simulation(
     clock_style: str = "random",
     checks=None,
     dynamics=None,
+    network_timing: Optional[Tuple[float, float]] = None,
     **node_kwargs: Any,
 ) -> Simulation:
     """Wire a ready-to-run event-engine CPS simulation.
@@ -311,8 +328,16 @@ def assemble_cps_simulation(
     monitors; see :mod:`repro.checks`); ``dynamics`` installs a
     :class:`~repro.sim.runtime.DynamicsHook` (churn schedules; see
     :mod:`repro.dynamics`).
+
+    ``network_timing`` overrides the network's ``(d, u)`` independently
+    of the protocol parameters — the ``overlay=off`` ablation runs the
+    base-graph parameterization against the overlay network's real
+    effective delays.
     """
-    config = NetworkConfig(params.n, params.d, params.u, u_tilde)
+    net_d, net_u = (
+        (params.d, params.u) if network_timing is None else network_timing
+    )
+    config = NetworkConfig(params.n, net_d, net_u, u_tilde)
     if clocks is None:
         clocks = default_clocks(params, seed=seed, style=clock_style)
     validate_initial_skew(

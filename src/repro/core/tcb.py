@@ -62,6 +62,13 @@ class TcbInstance:
         Local-time gap between acceptance and output, ``d - 2u``.
     echo_rejection:
         Ablation hook (A1): when False, echoes never cause ⊥.
+    window_filter:
+        Ablation hook (``tcb-filter``): when False the acceptance
+        window stops filtering — direct dealer messages are accepted at
+        *any* local time, and the window-end timeout no longer resolves
+        a silent dealer's instance to ⊥ (the instance simply stays
+        WAITING forever).  This is the paper-true cost of removing the
+        window: per-round termination is exactly what it buys.
     """
 
     dealer: int
@@ -70,6 +77,7 @@ class TcbInstance:
     window: float
     finalize_wait: float
     echo_rejection: bool = True
+    window_filter: bool = True
     state: TcbState = TcbState.WAITING
     accept_local: Optional[float] = None
     earliest_echo: Optional[float] = None
@@ -91,7 +99,9 @@ class TcbInstance:
         actions = TcbActions()
         if self.state is not TcbState.WAITING:
             return actions
-        if not (self.pulse_local < local_time <= self.window_end + EPS):
+        if self.window_filter and not (
+            self.pulse_local < local_time <= self.window_end + EPS
+        ):
             # Outside the acceptance window: ignored.  (A too-early message
             # cannot be accepted later; the dealer would have to send again
             # — only a faulty dealer would.)  The closing boundary is
@@ -136,7 +146,7 @@ class TcbInstance:
 
     def on_window_end(self) -> TcbActions:
         """The acceptance window elapsed."""
-        if self.state is TcbState.WAITING:
+        if self.state is TcbState.WAITING and self.window_filter:
             self.state = TcbState.DONE
             self.output = BOT
             self.reject_reason = "timeout"

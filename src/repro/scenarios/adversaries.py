@@ -16,7 +16,9 @@ from typing import Optional
 
 from repro.core.attacks import (
     CpsCoordinatedOffsetAttack,
+    CpsEarlyExtremeAttack,
     CpsEquivocatingSubsetAttack,
+    CpsForgingImpersonatorAttack,
     CpsMimicDealerAttack,
     CpsRushingEchoAttack,
     timing_split_group,
@@ -93,11 +95,18 @@ def _mimic_split(params, spread_fraction: float = 0.9, stagger: float = 0.0):
     description="Faulty dealers address only half the honest nodes, "
     "maximizing ⊥ asymmetry",
     paper_ref="the scenario Lemmas 7/8 exist for (Figure 2 timeout/echo "
-    "rules)",
+    "rules); with lateness > 0 the subset also sees a late extreme "
+    "only the f-b discard absorbs",
+    params=(
+        ParamSpec(
+            "lateness", 0.0,
+            "extra real-time delay of the subset's copies",
+        ),
+    ),
     tags=("cps",),
 )
-def _equivocating_subset(params):
-    return CpsEquivocatingSubsetAttack(params)
+def _equivocating_subset(params, lateness: float = 0.0):
+    return CpsEquivocatingSubsetAttack(params, lateness=lateness)
 
 
 @register_scenario(
@@ -140,6 +149,46 @@ def _coordinated_offset(
     return CpsCoordinatedOffsetAttack(
         params, offset_fraction=offset_fraction, alternate=alternate
     )
+
+
+@register_scenario(
+    "adversary",
+    "early-extreme",
+    description="Predictively timed broadcasts arriving just after "
+    "each pulse: consistent, accepted, extreme-negative estimates",
+    paper_ref="the f coordinated extremes the ⊥-aware f-b discard of "
+    "Figure 3 exists to absorb — the apa=off ablation's breaking case",
+    params=(
+        ParamSpec(
+            "margin", None,
+            "real-time arrival margin after the predicted first pulse "
+            "(None = 2S)",
+        ),
+    ),
+    tags=("cps", "new"),
+)
+def _early_extreme(params, margin: Optional[float] = None):
+    return CpsEarlyExtremeAttack(params, margin=margin)
+
+
+@register_scenario(
+    "adversary",
+    "forging-impersonator",
+    description="Signs <r> with its own key but claims honest dealers "
+    "as senders; harmless under real verification, fatal without it",
+    paper_ref="Theorem 5's unforgeability assumption — the exact "
+    "attack the signatures=off ablation re-enables",
+    params=(
+        ParamSpec(
+            "rounds", None,
+            "forge only the first this-many rounds (None = every "
+            "round)",
+        ),
+    ),
+    tags=("cps", "new"),
+)
+def _forging_impersonator(params, rounds: Optional[int] = None):
+    return CpsForgingImpersonatorAttack(params, rounds=rounds)
 
 
 # ----------------------------------------------------------------------

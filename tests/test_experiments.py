@@ -20,7 +20,7 @@ class TestRegistry:
         assert set(tables) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
             "A1", "A2", "A3", "STRESS", "CHURN-STRESS", "FUZZ",
-            "E9-SCALE",
+            "E9-SCALE", "ABLATION",
         }
 
     def test_unknown_experiment_rejected(self):
